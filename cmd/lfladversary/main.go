@@ -1,0 +1,52 @@
+// Command lfladversary reproduces the paper's Section 3.1 adversarial
+// execution interactively: one process repeatedly deletes the last node of
+// the list while q-1 processes try to insert at the end, with the
+// schedule timed so that every insertion C&S fails. It prints the total
+// work per inserter for Harris's list (restart-from-head recovery,
+// Omega(q*n^2) total) and the Fomitchev-Ruppert list (backlink recovery,
+// linear total).
+//
+// Usage:
+//
+//	lfladversary [-q 4] [-n 256,512,1024,2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lfladversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lfladversary", flag.ContinueOnError)
+	q := fs.Int("q", 4, "total processes (1 deleter + q-1 inserters)")
+	ns := fs.String("n", "256,512,1024,2048", "comma-separated initial list sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *q < 2 {
+		return fmt.Errorf("-q must be at least 2")
+	}
+	var sizes []int
+	for _, s := range strings.Split(*ns, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 8 {
+			return fmt.Errorf("bad -n entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	res := experiments.RunE2(experiments.E2Config{Qs: []int{*q}, Ns: sizes})
+	fmt.Print(res.Render())
+	return nil
+}

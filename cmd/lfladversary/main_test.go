@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSmallSchedule(t *testing.T) {
+	if err := run([]string{"-q", "3", "-n", "64,128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-q", "1"},       // need at least one inserter
+		{"-n", "abc"},     // unparsable size
+		{"-n", "4"},       // too small to host the schedule
+		{"-n", "64,,128"}, // empty entry
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectsExperiments(t *testing.T) {
+	if err := run([]string{"-exp", "e7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	err := run([]string{"-exp", " , "})
+	if err == nil || !strings.Contains(err.Error(), "no experiments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUnknownExperimentIsIgnoredButNonEmptySelectionRuns(t *testing.T) {
+	// "e9" does not exist; with only unknown names selected nothing runs.
+	err := run([]string{"-exp", "e9"})
+	if err == nil {
+		t.Fatal("selection of only unknown experiments should error")
+	}
+}
+
+func TestQuickRunnersProduceTables(t *testing.T) {
+	for name, fn := range map[string]func(bool) string{
+		"e3": runE3,
+		"e7": runE7,
+	} {
+		out := fn(true)
+		if !strings.Contains(out, "==") {
+			t.Fatalf("%s quick run produced no table:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run([]string{"-fig", "all"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

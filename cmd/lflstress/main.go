@@ -1,0 +1,171 @@
+// Command lflstress hammers a chosen implementation with a concurrent
+// workload, records the full operation history, and checks it for
+// linearizability (the correctness condition of the paper's Section 3.3).
+// It also validates structural invariants in the quiescent end state.
+//
+// Usage:
+//
+//	lflstress [-impl fr-skiplist] [-threads 8] [-ops 2000] [-keys 16]
+//	          [-rounds 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harris"
+	"repro/internal/history"
+	"repro/internal/noflag"
+	"repro/internal/sundell"
+	"repro/internal/valois"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lflstress:", err)
+		os.Exit(1)
+	}
+}
+
+// checked is the minimal interface the stress driver needs; results are
+// booleans so the history checker can validate them.
+type checked interface {
+	insert(k int) bool
+	remove(k int) bool
+	search(k int) bool
+	validate() error
+}
+
+type frList struct{ l *core.List[int, int] }
+
+func (d frList) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d frList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
+func (d frList) search(k int) bool { return d.l.Search(nil, k) != nil }
+func (d frList) validate() error   { return d.l.CheckInvariants() }
+
+type frSkip struct{ l *core.SkipList[int, int] }
+
+func (d frSkip) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d frSkip) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
+func (d frSkip) search(k int) bool { return d.l.Search(nil, k) != nil }
+func (d frSkip) validate() error   { return d.l.CheckStructure() }
+
+type harrisList struct{ l *harris.List[int, int] }
+
+func (d harrisList) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d harrisList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
+func (d harrisList) search(k int) bool { return d.l.Search(nil, k) != nil }
+func (d harrisList) validate() error   { return d.l.CheckInvariants() }
+
+type harrisSkip struct{ l *harris.SkipList[int, int] }
+
+func (d harrisSkip) insert(k int) bool { return d.l.Insert(nil, k, k) }
+func (d harrisSkip) remove(k int) bool { return d.l.Delete(nil, k) }
+func (d harrisSkip) search(k int) bool { return d.l.Contains(nil, k) }
+func (d harrisSkip) validate() error   { return d.l.CheckStructure() }
+
+type valoisList struct{ l *valois.List[int, int] }
+
+func (d valoisList) insert(k int) bool { return d.l.Insert(nil, k, k) }
+func (d valoisList) remove(k int) bool { return d.l.Delete(nil, k) }
+func (d valoisList) search(k int) bool { return d.l.Contains(nil, k) }
+func (d valoisList) validate() error   { return d.l.CheckInvariants() }
+
+type sundellSkip struct{ l *sundell.SkipList[int, int] }
+
+func (d sundellSkip) insert(k int) bool { return d.l.Insert(nil, k, k) }
+func (d sundellSkip) remove(k int) bool { return d.l.Delete(nil, k) }
+func (d sundellSkip) search(k int) bool { return d.l.Contains(nil, k) }
+func (d sundellSkip) validate() error   { return nil }
+
+type noflagList struct{ l *noflag.List[int, int] }
+
+func (d noflagList) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d noflagList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
+func (d noflagList) search(k int) bool { return d.l.Search(nil, k) != nil }
+func (d noflagList) validate() error   { return nil }
+
+func newChecked(impl string) (checked, error) {
+	switch impl {
+	case "fr-list":
+		return frList{core.NewList[int, int]()}, nil
+	case "fr-skiplist":
+		return frSkip{core.NewSkipList[int, int]()}, nil
+	case "harris-list":
+		return harrisList{harris.NewList[int, int]()}, nil
+	case "harris-skiplist":
+		return harrisSkip{harris.NewSkipList[int, int](0, nil)}, nil
+	case "valois-list":
+		return valoisList{valois.NewList[int, int]()}, nil
+	case "noflag-list":
+		return noflagList{noflag.NewList[int, int]()}, nil
+	case "sundell-skiplist":
+		return sundellSkip{sundell.New[int, int](0, nil)}, nil
+	default:
+		return nil, fmt.Errorf("unknown -impl %q", impl)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lflstress", flag.ContinueOnError)
+	impl := fs.String("impl", "fr-skiplist", "implementation: fr-list, fr-skiplist, harris-list, harris-skiplist, sundell-skiplist, valois-list, noflag-list")
+	threads := fs.Int("threads", 8, "concurrent workers")
+	ops := fs.Int("ops", 2000, "operations per worker per round")
+	keys := fs.Int("keys", 16, "key-space size (small = high contention)")
+	rounds := fs.Int("rounds", 20, "independent rounds")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	totalOps := 0
+	for round := 0; round < *rounds; round++ {
+		d, err := newChecked(*impl)
+		if err != nil {
+			return err
+		}
+		rec := history.NewRecorder(*threads, *ops)
+		var wg sync.WaitGroup
+		for w := 0; w < *threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := rec.Thread(w)
+				rng := rand.New(rand.NewPCG(*seed+uint64(round), uint64(w)))
+				for i := 0; i < *ops; i++ {
+					k := int(rng.Uint64N(uint64(*keys)))
+					switch rng.Uint64N(3) {
+					case 0:
+						o := th.Begin(history.KindInsert, k)
+						th.End(o, d.insert(k))
+					case 1:
+						o := th.Begin(history.KindDelete, k)
+						th.End(o, d.remove(k))
+					default:
+						o := th.Begin(history.KindSearch, k)
+						th.End(o, d.search(k))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := d.validate(); err != nil {
+			return fmt.Errorf("round %d: structural invariant violated: %w", round, err)
+		}
+		if err := history.Check(rec.Ops()); err != nil {
+			if _, dense := err.(*history.ErrTooDense); dense {
+				fmt.Printf("round %d: %v (inconclusive; lower -ops or raise -keys)\n", round, err)
+				continue
+			}
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		totalOps += *threads * *ops
+	}
+	fmt.Printf("ok: %s passed %d rounds, %d checked operations, all histories linearizable\n",
+		*impl, *rounds, totalOps)
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCheckedKnownImpls(t *testing.T) {
+	for _, impl := range []string{
+		"fr-list", "fr-skiplist", "harris-list", "harris-skiplist",
+		"valois-list", "noflag-list",
+	} {
+		d, err := newChecked(impl)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if !d.insert(1) {
+			t.Fatalf("%s: insert failed", impl)
+		}
+		if !d.search(1) {
+			t.Fatalf("%s: search missed", impl)
+		}
+		if !d.remove(1) {
+			t.Fatalf("%s: remove failed", impl)
+		}
+		if err := d.validate(); err != nil {
+			t.Fatalf("%s: validate: %v", impl, err)
+		}
+	}
+}
+
+func TestNewCheckedUnknownImpl(t *testing.T) {
+	if _, err := newChecked("btree"); err == nil {
+		t.Fatal("unknown implementation accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	err := run([]string{"-impl", "fr-list", "-threads", "4", "-ops", "100",
+		"-keys", "8", "-rounds", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-impl", "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown -impl") {
+		t.Fatalf("err = %v", err)
+	}
+}

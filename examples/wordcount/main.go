@@ -1,0 +1,77 @@
+// Wordcount: parallel word-frequency counting with the lock-free hash map
+// (buckets are the paper's linked lists) feeding a skip list for the final
+// ordered report - both "building block" roles from the paper's
+// introduction in one pipeline.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/lockfree"
+)
+
+// counter is a per-word atomic counter stored once in the map; duplicate
+// inserts lose and increment the winner's counter instead.
+type counter struct{ n atomic.Int64 }
+
+var corpus = strings.Fields(strings.Repeat(
+	`the quick brown fox jumps over the lazy dog the fox is quick and
+	 the dog is lazy but the fox and the dog are friends `, 64))
+
+func main() {
+	counts := lockfree.NewHashMap[string, *counter](256, lockfree.StringHash)
+
+	// Fan the corpus out over workers; each word is counted exactly once
+	// because Insert is atomic: exactly one goroutine installs the
+	// counter, everyone increments it.
+	const workers = 8
+	var wg sync.WaitGroup
+	chunk := (len(corpus) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := min(w*chunk, len(corpus))
+		hi := min(lo+chunk, len(corpus))
+		wg.Add(1)
+		go func(words []string) {
+			defer wg.Done()
+			for _, word := range words {
+				c := &counter{}
+				c.n.Add(1)
+				if !counts.Insert(word, c) {
+					if existing, ok := counts.Get(word); ok {
+						existing.n.Add(1)
+					}
+				}
+			}
+		}(corpus[lo:hi])
+	}
+	wg.Wait()
+
+	// Order the report by count using the skip list (composite key:
+	// count descending, then word).
+	report := lockfree.NewSkipList[string, int]()
+	total := int64(0)
+	counts.Range(func(word string, c *counter) bool {
+		n := c.n.Load()
+		total += n
+		key := fmt.Sprintf("%06d|%s", 999999-n, word) // sortable composite
+		report.Insert(key, int(n))
+		return true
+	})
+
+	fmt.Printf("%d distinct words, %d total (corpus has %d)\n",
+		counts.Len(), total, len(corpus))
+	fmt.Println("top words:")
+	shown := 0
+	report.Ascend(func(key string, n int) bool {
+		word := key[strings.IndexByte(key, '|')+1:]
+		fmt.Printf("  %-8s %d\n", word, n)
+		shown++
+		return shown < 5
+	})
+	if total != int64(len(corpus)) {
+		fmt.Println("ERROR: lost or double-counted words")
+	}
+}

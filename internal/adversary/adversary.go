@@ -1,0 +1,153 @@
+// Package adversary provides a deterministic step controller for realizing
+// the paper's adversarial schedules (Section 3.1) on a real Go runtime.
+//
+// The data-structure implementations emit named synchronization points
+// through instrument.Hooks. A Controller registers which (process, point)
+// pairs must park; the test or benchmark driver then sequences the
+// execution by waiting for processes to park and releasing them one step
+// at a time. This reproduces schedules like "the deleter marks the last
+// node right after every inserter has located its insertion position but
+// before any of them performs a C&S" exactly, which is what the
+// lower-bound constructions for Harris's and Valois's lists require.
+package adversary
+
+import (
+	"sync"
+
+	"repro/internal/instrument"
+)
+
+type pauseKey struct {
+	pid   int
+	point instrument.Point
+}
+
+// Controller coordinates processes at hook points. The zero value is not
+// usable; construct with NewController.
+type Controller struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pause   map[pauseKey]bool
+	parked  map[int]instrument.Point
+	tickets map[int]int
+}
+
+// NewController returns a controller with no pause points armed; processes
+// pass through every hook until PauseAt is called.
+func NewController() *Controller {
+	c := &Controller{
+		pause:   make(map[pauseKey]bool),
+		parked:  make(map[int]instrument.Point),
+		tickets: make(map[int]int),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// HooksFor returns the instrument.Hooks a process with the given default
+// pid should run under. The pid argument at each hook call overrides it,
+// so the same Hooks value may be shared by Procs with distinct IDs.
+func (c *Controller) HooksFor() instrument.Hooks {
+	return instrument.HookFunc(c.at)
+}
+
+// at implements the hook: park if (pid, point) is armed, until a ticket is
+// granted.
+func (c *Controller) at(p instrument.Point, pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.pause[pauseKey{pid, p}] {
+		return
+	}
+	c.parked[pid] = p
+	c.cond.Broadcast()
+	for c.tickets[pid] == 0 {
+		c.cond.Wait()
+	}
+	c.tickets[pid]--
+	delete(c.parked, pid)
+	c.cond.Broadcast()
+}
+
+// PauseAt arms (pid, point): the process will park every time it reaches
+// the point until the pause is disarmed or a ticket releases it.
+func (c *Controller) PauseAt(pid int, p instrument.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pause[pauseKey{pid, p}] = true
+}
+
+// ClearPause disarms (pid, point). A currently parked process stays parked
+// until released.
+func (c *Controller) ClearPause(pid int, p instrument.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pause, pauseKey{pid, p})
+}
+
+// ClearAllPauses disarms every pause point. Parked processes stay parked
+// until released.
+func (c *Controller) ClearAllPauses() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.pause)
+}
+
+// AwaitParked blocks until process pid is genuinely parked at point p: it
+// is blocked there with no release ticket pending. (A process that was
+// just released but has not yet resumed still has a stale parked entry;
+// its nonzero ticket count distinguishes it.)
+func (c *Controller) AwaitParked(pid int, p instrument.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !(c.parked[pid] == p && c.tickets[pid] == 0) {
+		c.cond.Wait()
+	}
+}
+
+// AwaitAllParked blocks until every listed process is genuinely parked at
+// point p simultaneously (see AwaitParked for "genuinely").
+func (c *Controller) AwaitAllParked(pids []int, p instrument.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		all := true
+		for _, pid := range pids {
+			if !(c.parked[pid] == p && c.tickets[pid] == 0) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		c.cond.Wait()
+	}
+}
+
+// Release grants one ticket to pid, letting it pass its current (or next)
+// park.
+func (c *Controller) Release(pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tickets[pid]++
+	c.cond.Broadcast()
+}
+
+// ReleaseAll grants one ticket to each listed process.
+func (c *Controller) ReleaseAll(pids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pid := range pids {
+		c.tickets[pid]++
+	}
+	c.cond.Broadcast()
+}
+
+// Parked reports whether pid is currently parked, and at which point.
+func (c *Controller) Parked(pid int) (instrument.Point, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parked[pid]
+	return p, ok
+}

@@ -1,0 +1,159 @@
+package adversary
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+func TestControllerParkAndRelease(t *testing.T) {
+	c := NewController()
+	c.PauseAt(1, instrument.PtBeforeInsertCAS)
+	h := c.HooksFor()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.At(instrument.PtSearchDone, 1)      // not armed: passes through
+		h.At(instrument.PtBeforeInsertCAS, 1) // armed: parks
+	}()
+
+	c.AwaitParked(1, instrument.PtBeforeInsertCAS)
+	if p, ok := c.Parked(1); !ok || p != instrument.PtBeforeInsertCAS {
+		t.Fatalf("Parked = %v, %t", p, ok)
+	}
+	select {
+	case <-done:
+		t.Fatal("process passed an armed point without a ticket")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Release(1)
+	<-done
+	if _, ok := c.Parked(1); ok {
+		t.Fatal("process still recorded as parked")
+	}
+}
+
+func TestControllerRearm(t *testing.T) {
+	c := NewController()
+	c.PauseAt(2, instrument.PtRestart)
+	h := c.HooksFor()
+	rounds := 3
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			h.At(instrument.PtRestart, 2)
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		c.AwaitParked(2, instrument.PtRestart)
+		c.Release(2)
+	}
+	<-done
+}
+
+func TestControllerAwaitAllParked(t *testing.T) {
+	c := NewController()
+	pids := []int{1, 2, 3}
+	for _, pid := range pids {
+		c.PauseAt(pid, instrument.PtSearchDone)
+	}
+	h := c.HooksFor()
+	var wg sync.WaitGroup
+	for _, pid := range pids {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h.At(instrument.PtSearchDone, pid)
+		}(pid)
+	}
+	c.AwaitAllParked(pids, instrument.PtSearchDone)
+	c.ReleaseAll(pids)
+	wg.Wait()
+}
+
+// TestControllerDrivesCoreList checks end-to-end integration: pause an
+// inserter right before its C&S, delete its predecessor, and observe the
+// insert recover and complete.
+func TestControllerDrivesCoreList(t *testing.T) {
+	l := core.NewList[int, int]()
+	for i := 0; i < 10; i++ {
+		l.Insert(nil, i, i)
+	}
+	c := NewController()
+	c.PauseAt(1, core.PtBeforeInsertCAS)
+	inserter := &core.Proc{ID: 1, Hooks: c.HooksFor()}
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(inserter, 100, 100) // prev will be node 9
+		done <- ok
+	}()
+	c.AwaitParked(1, core.PtBeforeInsertCAS)
+	// Delete the node the inserter is about to C&S.
+	if _, ok := l.Delete(nil, 9); !ok {
+		t.Fatal("delete failed")
+	}
+	c.ClearAllPauses()
+	c.Release(1)
+	if !<-done {
+		t.Fatal("insert did not recover and complete")
+	}
+	if _, ok := l.Get(nil, 100); !ok {
+		t.Fatal("key 100 missing after recovery")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerStalledDeleterDoesNotBlock parks a deleter between its
+// flagging C&S and marking C&S; other processes must still make progress
+// by helping (lock-freedom, Section 3.1's helping rule).
+func TestControllerStalledDeleterDoesNotBlock(t *testing.T) {
+	l := core.NewList[int, int]()
+	for i := 0; i < 100; i += 10 {
+		l.Insert(nil, i, i)
+	}
+	c := NewController()
+	c.PauseAt(7, core.PtBeforeMarkCAS)
+	deleter := &core.Proc{ID: 7, Hooks: c.HooksFor()}
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Delete(deleter, 50)
+		res <- ok
+	}()
+	c.AwaitParked(7, core.PtBeforeMarkCAS)
+	// Node 40 (the predecessor of 50) is now flagged. An insert between
+	// 40 and 50 cannot perform its C&S while the flag stands, so it must
+	// help complete the stalled deletion and then succeed.
+	ins := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(nil, 45, 45)
+		ins <- ok
+	}()
+	if !<-ins {
+		t.Fatal("insert blocked by stalled deleter")
+	}
+	// The helper should have completed the deletion of 50.
+	if _, ok := l.Get(nil, 50); ok {
+		t.Fatal("key 50 still present; helping did not complete the deletion")
+	}
+	if _, ok := l.Get(nil, 45); !ok {
+		t.Fatal("key 45 missing")
+	}
+	// Release the stalled deleter; it must still report success (it
+	// placed the flag, so the deletion is attributed to it).
+	c.ClearAllPauses()
+	c.Release(7)
+	if !<-res {
+		t.Fatal("stalled deleter did not report success")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+// TestAdjacentDeletionsHelpCascade builds the trickiest deletion
+// interleaving: deleter D1 is deleting C and has flagged its predecessor
+// B; deleter D2 then deletes B. To mark B, D2's TryMark finds B flagged
+// and must first help D1's deletion of C to completion (TryMark lines 4-5,
+// preserving INV5: no node both marked and flagged). Both deletions must
+// report success.
+func TestAdjacentDeletionsHelpCascade(t *testing.T) {
+	l := core.NewList[int, string]()
+	l.Insert(nil, 1, "A")
+	l.Insert(nil, 2, "B")
+	l.Insert(nil, 3, "C")
+
+	ctl := NewController()
+	hooks := ctl.HooksFor()
+
+	// D1: delete C; park after flagging B, before marking C.
+	ctl.PauseAt(1, instrument.PtBeforeMarkCAS)
+	d1 := make(chan bool, 1)
+	go func() {
+		_, ok := l.Delete(&core.Proc{ID: 1, Hooks: hooks}, 3)
+		d1 <- ok
+	}()
+	ctl.AwaitParked(1, instrument.PtBeforeMarkCAS)
+
+	// D2: delete B. It must flag A, then - finding B flagged for C's
+	// deletion - help finish C before marking B.
+	d2 := make(chan bool, 1)
+	go func() {
+		_, ok := l.Delete(&core.Proc{ID: 2}, 2)
+		d2 <- ok
+	}()
+	if !<-d2 {
+		t.Fatal("D2 failed to delete B")
+	}
+	// D2's helping already removed C; release D1, which must still report
+	// success (it placed C's flag).
+	ctl.ClearAllPauses()
+	ctl.Release(1)
+	if !<-d1 {
+		t.Fatal("D1 (the original deleter of C) did not report success")
+	}
+	for _, k := range []int{2, 3} {
+		if _, ok := l.Get(nil, k); ok {
+			t.Fatalf("key %d survived", k)
+		}
+	}
+	if _, ok := l.Get(nil, 1); !ok {
+		t.Fatal("key 1 lost")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateInsertRace reproduces Insert lines 19-22: an inserter that
+// loses its C&S to a concurrent insertion of the same key must detect the
+// duplicate on re-search and report DUPLICATE_KEY.
+func TestDuplicateInsertRace(t *testing.T) {
+	l := core.NewList[int, int]()
+	l.Insert(nil, 1, 1)
+	l.Insert(nil, 10, 10)
+
+	ctl := NewController()
+	ctl.PauseAt(5, instrument.PtBeforeInsertCAS)
+	racer := &core.Proc{ID: 5, Hooks: ctl.HooksFor()}
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(racer, 5, 500)
+		res <- ok
+	}()
+	ctl.AwaitParked(5, instrument.PtBeforeInsertCAS)
+
+	// A faster inserter takes the same key.
+	if _, ok := l.Insert(nil, 5, 555); !ok {
+		t.Fatal("fast insert failed")
+	}
+	ctl.ClearAllPauses()
+	ctl.Release(5)
+	if ok := <-res; ok {
+		t.Fatal("slow insert claimed success over an existing key")
+	}
+	if v, _ := l.Get(nil, 5); v != 555 {
+		t.Fatalf("value = %d, want the fast inserter's 555", v)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertRecoversAcrossManyDeletions parks an inserter and deletes a
+// long run of its predecessors; recovery must walk backlinks (never
+// restarting from the head) and complete.
+func TestInsertRecoversAcrossManyDeletions(t *testing.T) {
+	l := core.NewList[int, int]()
+	for k := 0; k < 40; k++ {
+		l.Insert(nil, k, k)
+	}
+	ctl := NewController()
+	ctl.PauseAt(9, instrument.PtBeforeInsertCAS)
+	st := &core.OpStats{}
+	ins := &core.Proc{ID: 9, Hooks: ctl.HooksFor(), Stats: st}
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(ins, 100, 100) // prev = node 39
+		res <- ok
+	}()
+	ctl.AwaitParked(9, instrument.PtBeforeInsertCAS)
+	// Delete the inserter's predecessor and a long run before it.
+	for k := 39; k >= 10; k-- {
+		if _, ok := l.Delete(nil, k); !ok {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	ctl.ClearAllPauses()
+	ctl.Release(9)
+	if !<-res {
+		t.Fatal("insert did not recover")
+	}
+	if _, ok := l.Get(nil, 100); !ok {
+		t.Fatal("key 100 missing")
+	}
+	if st.BacklinkTraversals == 0 {
+		t.Fatal("recovery did not use backlinks")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkipListInsertDuplicateRace is the duplicate race on the skip list:
+// the slow inserter's root-level C&S loses and must return failure.
+func TestSkipListInsertDuplicateRace(t *testing.T) {
+	l := core.NewSkipList[int, int]()
+	l.Insert(nil, 1, 1)
+	l.Insert(nil, 10, 10)
+
+	ctl := NewController()
+	ctl.PauseAt(6, instrument.PtBeforeInsertCAS)
+	racer := &core.Proc{ID: 6, Hooks: ctl.HooksFor()}
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(racer, 5, 500)
+		res <- ok
+	}()
+	ctl.AwaitParked(6, instrument.PtBeforeInsertCAS)
+	if _, ok := l.Insert(nil, 5, 555); !ok {
+		t.Fatal("fast insert failed")
+	}
+	ctl.ClearAllPauses()
+	ctl.Release(6)
+	if ok := <-res; ok {
+		t.Fatal("slow skip-list insert claimed success over an existing key")
+	}
+	if v, _ := l.Get(nil, 5); v != 555 {
+		t.Fatalf("value = %d", v)
+	}
+	if err := l.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package adversary
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+// TestSystematicThreeWayDeleteRace freezes three deleters of the same key
+// at every combination of pause points and releases them in every order
+// (4^3 point choices x 6 release orders = 384 deterministic schedules).
+// Exactly one deletion must succeed and the list must end consistent.
+func TestSystematicThreeWayDeleteRace(t *testing.T) {
+	orders := [][3]int{{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}}
+	for _, p1 := range pausePoints {
+		for _, p2 := range pausePoints {
+			for _, p3 := range pausePoints {
+				for _, order := range orders {
+					name := fmt.Sprintf("%v-%v-%v/rel%v", p1, p2, p3, order)
+					t.Run(name, func(t *testing.T) {
+						runThreeWay(t, [3]instrument.Point{p1, p2, p3}, order)
+					})
+				}
+			}
+		}
+	}
+}
+
+func runThreeWay(t *testing.T, points [3]instrument.Point, order [3]int) {
+	l := core.NewList[int, int]()
+	for k := 0; k < 50; k += 10 {
+		l.Insert(nil, k, k)
+	}
+	ctl := NewController()
+	results := make(chan int, 3)
+	wins := make([]bool, 4)
+	for i := 0; i < 3; i++ {
+		pid := i + 1
+		ctl.PauseAt(pid, points[i])
+		go func(pid int) {
+			_, ok := l.Delete(&core.Proc{ID: pid, Hooks: ctl.HooksFor()}, 20)
+			wins[pid] = ok
+			results <- pid
+		}(pid)
+		waitParkedOrDone3(ctl, pid, points[i], results)
+	}
+	ctl.ClearAllPauses()
+	for _, pid := range order {
+		ctl.Release(pid)
+	}
+	for len(finished) < 3 {
+		select {
+		case r := <-results:
+			finished = append(finished, r)
+		default:
+			runtime.Gosched()
+		}
+	}
+	finished = finished[:0]
+
+	successes := 0
+	for _, w := range wins {
+		if w {
+			successes++
+		}
+	}
+	if successes != 1 {
+		t.Fatalf("%d deleters claimed success, want exactly 1", successes)
+	}
+	if _, ok := l.Get(nil, 20); ok {
+		t.Fatal("key 20 survived")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var finished []int
+
+func waitParkedOrDone3(ctl *Controller, pid int, p instrument.Point, results chan int) {
+	for {
+		if pt, ok := ctl.Parked(pid); ok && pt == p {
+			return
+		}
+		select {
+		case r := <-results:
+			finished = append(finished, r)
+			if r == pid {
+				return
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}

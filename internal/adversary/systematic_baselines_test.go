@@ -1,0 +1,113 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harris"
+	"repro/internal/instrument"
+	"repro/internal/noflag"
+)
+
+// baselinePoints: the baselines have no flagging C&S.
+var baselinePoints = []instrument.Point{
+	instrument.PtBeforeInsertCAS,
+	instrument.PtBeforeMarkCAS,
+	instrument.PtBeforePhysicalCAS,
+}
+
+// TestSystematicHarrisInterleavings runs the two-op pause grid against
+// Harris's list: insert-vs-delete of neighbouring keys and a same-key
+// delete race, every pause pairing and release order.
+func TestSystematicHarrisInterleavings(t *testing.T) {
+	for _, p1 := range baselinePoints {
+		for _, p2 := range baselinePoints {
+			for _, firstRelease := range []int{1, 2} {
+				t.Run(fmt.Sprintf("ins-del/%v-%v-rel%d", p1, p2, firstRelease), func(t *testing.T) {
+					l := harris.NewList[int, int]()
+					for k := 0; k < 50; k += 10 {
+						l.Insert(nil, k, k)
+					}
+					op1 := func(p *instrument.Proc) { l.Insert(p, 25, 25) }
+					op2 := func(p *instrument.Proc) { l.Delete(p, 20) }
+					runBaselineSchedule(t, op1, op2, p1, p2, firstRelease)
+					if _, ok := l.Get(nil, 25); !ok {
+						t.Fatal("inserted key 25 missing")
+					}
+					if _, ok := l.Get(nil, 20); ok {
+						t.Fatal("deleted key 20 present")
+					}
+					if err := l.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+				})
+				t.Run(fmt.Sprintf("del-del/%v-%v-rel%d", p1, p2, firstRelease), func(t *testing.T) {
+					l := harris.NewList[int, int]()
+					for k := 0; k < 50; k += 10 {
+						l.Insert(nil, k, k)
+					}
+					wins := make([]bool, 3)
+					op1 := func(p *instrument.Proc) { _, wins[1] = l.Delete(p, 20) }
+					op2 := func(p *instrument.Proc) { _, wins[2] = l.Delete(p, 20) }
+					runBaselineSchedule(t, op1, op2, p1, p2, firstRelease)
+					if wins[1] == wins[2] {
+						t.Fatalf("same-key delete race: wins = %v, want exactly one", wins[1:])
+					}
+					if err := l.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSystematicNoflagInterleavings runs the same grid against the no-flag
+// ablation: correctness must hold even though chains may grow.
+func TestSystematicNoflagInterleavings(t *testing.T) {
+	for _, p1 := range baselinePoints {
+		for _, p2 := range baselinePoints {
+			for _, firstRelease := range []int{1, 2} {
+				t.Run(fmt.Sprintf("ins-del/%v-%v-rel%d", p1, p2, firstRelease), func(t *testing.T) {
+					l := noflag.NewList[int, int]()
+					for k := 0; k < 50; k += 10 {
+						l.Insert(nil, k, k)
+					}
+					op1 := func(p *instrument.Proc) { l.Insert(p, 25, 25) }
+					op2 := func(p *instrument.Proc) { l.Delete(p, 20) }
+					runBaselineSchedule(t, op1, op2, p1, p2, firstRelease)
+					if _, ok := l.Get(nil, 25); !ok {
+						t.Fatal("inserted key 25 missing")
+					}
+					if _, ok := l.Get(nil, 20); ok {
+						t.Fatal("deleted key 20 present")
+					}
+				})
+			}
+		}
+	}
+}
+
+// runBaselineSchedule is the shared two-op choreography over
+// instrument.Proc operations.
+func runBaselineSchedule(t *testing.T, op1, op2 func(*instrument.Proc),
+	p1, p2 instrument.Point, firstRelease int) {
+	t.Helper()
+	ctl := NewController()
+	ctl.PauseAt(1, p1)
+	ctl.PauseAt(2, p2)
+	results := make(chan int, 2)
+	go func() { op1(&instrument.Proc{ID: 1, Hooks: ctl.HooksFor()}); results <- 1 }()
+	waitParkedOrDone(ctl, 1, p1, results)
+	go func() { op2(&instrument.Proc{ID: 2, Hooks: ctl.HooksFor()}); results <- 2 }()
+	waitParkedOrDone(ctl, 2, p2, results)
+	ctl.ClearAllPauses()
+	if firstRelease == 1 {
+		ctl.Release(1)
+		ctl.Release(2)
+	} else {
+		ctl.Release(2)
+		ctl.Release(1)
+	}
+	drain(results)
+}

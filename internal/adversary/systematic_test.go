@@ -1,0 +1,188 @@
+package adversary
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+// pausePoints are the C&S sites an operation can be frozen at.
+var pausePoints = []instrument.Point{
+	instrument.PtBeforeInsertCAS,
+	instrument.PtBeforeFlagCAS,
+	instrument.PtBeforeMarkCAS,
+	instrument.PtBeforePhysicalCAS,
+}
+
+// scenario builds a fresh list and returns the two operations to race.
+type scenario struct {
+	name  string
+	setup func() (*core.List[int, int], func(p *core.Proc) bool, func(p *core.Proc) bool, func(*core.List[int, int]) error)
+}
+
+// TestSystematicTwoOpInterleavings enumerates, for several two-operation
+// scenarios, every combination of (pause point for op1, pause point for
+// op2, which op is released first) and checks that each deterministic
+// schedule ends in a state satisfying the invariants with a sane outcome.
+// This is a lightweight model-checking pass over the C&S sites.
+func TestSystematicTwoOpInterleavings(t *testing.T) {
+	scenarios := []scenario{
+		{
+			name: "insert-vs-delete-neighbour",
+			setup: func() (*core.List[int, int], func(*core.Proc) bool, func(*core.Proc) bool, func(*core.List[int, int]) error) {
+				l := core.NewList[int, int]()
+				for k := 0; k < 50; k += 10 {
+					l.Insert(nil, k, k)
+				}
+				ins := func(p *core.Proc) bool { _, ok := l.Insert(p, 25, 25); return ok }
+				del := func(p *core.Proc) bool { _, ok := l.Delete(p, 20); return ok }
+				check := func(l *core.List[int, int]) error {
+					if _, ok := l.Get(nil, 25); !ok {
+						return fmt.Errorf("inserted key 25 missing")
+					}
+					if _, ok := l.Get(nil, 20); ok {
+						return fmt.Errorf("deleted key 20 present")
+					}
+					return l.CheckInvariants()
+				}
+				return l, ins, del, check
+			},
+		},
+		{
+			name: "delete-vs-delete-adjacent",
+			setup: func() (*core.List[int, int], func(*core.Proc) bool, func(*core.Proc) bool, func(*core.List[int, int]) error) {
+				l := core.NewList[int, int]()
+				for k := 0; k < 50; k += 10 {
+					l.Insert(nil, k, k)
+				}
+				d1 := func(p *core.Proc) bool { _, ok := l.Delete(p, 20); return ok }
+				d2 := func(p *core.Proc) bool { _, ok := l.Delete(p, 30); return ok }
+				check := func(l *core.List[int, int]) error {
+					for _, k := range []int{20, 30} {
+						if _, ok := l.Get(nil, k); ok {
+							return fmt.Errorf("deleted key %d present", k)
+						}
+					}
+					return l.CheckInvariants()
+				}
+				return l, d1, d2, check
+			},
+		},
+		{
+			name: "delete-race-same-key",
+			setup: func() (*core.List[int, int], func(*core.Proc) bool, func(*core.Proc) bool, func(*core.List[int, int]) error) {
+				l := core.NewList[int, int]()
+				for k := 0; k < 50; k += 10 {
+					l.Insert(nil, k, k)
+				}
+				d1 := func(p *core.Proc) bool { _, ok := l.Delete(p, 20); return ok }
+				d2 := func(p *core.Proc) bool { _, ok := l.Delete(p, 20); return ok }
+				check := func(l *core.List[int, int]) error {
+					if _, ok := l.Get(nil, 20); ok {
+						return fmt.Errorf("key 20 survived two deletes")
+					}
+					return l.CheckInvariants()
+				}
+				return l, d1, d2, check
+			},
+		},
+		{
+			name: "insert-race-same-key",
+			setup: func() (*core.List[int, int], func(*core.Proc) bool, func(*core.Proc) bool, func(*core.List[int, int]) error) {
+				l := core.NewList[int, int]()
+				for k := 0; k < 50; k += 10 {
+					l.Insert(nil, k, k)
+				}
+				i1 := func(p *core.Proc) bool { _, ok := l.Insert(p, 25, 1); return ok }
+				i2 := func(p *core.Proc) bool { _, ok := l.Insert(p, 25, 2); return ok }
+				check := func(l *core.List[int, int]) error {
+					if _, ok := l.Get(nil, 25); !ok {
+						return fmt.Errorf("key 25 missing after two inserts")
+					}
+					return l.CheckInvariants()
+				}
+				return l, i1, i2, check
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		for _, p1 := range pausePoints {
+			for _, p2 := range pausePoints {
+				for _, firstRelease := range []int{1, 2} {
+					name := fmt.Sprintf("%s/%v-%v-rel%d", sc.name, p1, p2, firstRelease)
+					t.Run(name, func(t *testing.T) {
+						runSchedule(t, sc, p1, p2, firstRelease)
+					})
+				}
+			}
+		}
+	}
+}
+
+// runSchedule freezes op1 at point p1 and op2 at point p2 (first
+// occurrence each; operations that never reach their point just run to
+// completion), then releases them in the given order and validates the
+// final state.
+func runSchedule(t *testing.T, sc scenario, p1, p2 instrument.Point, firstRelease int) {
+	l, op1, op2, check := sc.setup()
+	ctl := NewController()
+	ctl.PauseAt(1, p1)
+	ctl.PauseAt(2, p2)
+	results := make(chan int, 2) // which op finished
+	ok1 := false
+	ok2 := false
+	go func() { ok1 = op1(&core.Proc{ID: 1, Hooks: ctl.HooksFor()}); results <- 1 }()
+
+	// Wait until op1 is parked (or finished, if it never hits p1).
+	waitParkedOrDone(ctl, 1, p1, results)
+	go func() { ok2 = op2(&core.Proc{ID: 2, Hooks: ctl.HooksFor()}); results <- 2 }()
+	waitParkedOrDone(ctl, 2, p2, results)
+
+	// Release in the requested order; pauses are one-shot for this test.
+	ctl.ClearAllPauses()
+	if firstRelease == 1 {
+		ctl.Release(1)
+		ctl.Release(2)
+	} else {
+		ctl.Release(2)
+		ctl.Release(1)
+	}
+	drain(results)
+	_ = ok1
+	_ = ok2
+	if err := check(l); err != nil {
+		t.Fatalf("schedule left a bad state: %v", err)
+	}
+}
+
+// waitParkedOrDone returns once pid is parked at p or its op completed.
+var drained []int
+
+func waitParkedOrDone(ctl *Controller, pid int, p instrument.Point, results chan int) {
+	for {
+		if pt, ok := ctl.Parked(pid); ok && pt == p {
+			return
+		}
+		select {
+		case r := <-results:
+			drained = append(drained, r)
+			if r == pid {
+				return
+			}
+		default:
+			runtime.Gosched() // single-CPU: let the workers run
+		}
+	}
+}
+
+func drain(results chan int) {
+	need := 2 - len(drained)
+	for i := 0; i < need; i++ {
+		<-results
+	}
+	drained = drained[:0]
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+)
+
+func benchSizes() []int { return []int{128, 1024, 8192} }
+
+func BenchmarkListSearch(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(itoa(n), func(b *testing.B) {
+			l := NewList[int, int]()
+			for k := 0; k < n; k++ {
+				l.Insert(nil, k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Search(nil, (i*7919)%n)
+			}
+		})
+	}
+}
+
+func BenchmarkListInsertDelete(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(itoa(n), func(b *testing.B) {
+			l := NewList[int, int]()
+			for k := 0; k < n; k += 2 {
+				l.Insert(nil, k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := (i*2 + 1) % n
+				l.Insert(nil, k, k)
+				l.Delete(nil, k)
+			}
+		})
+	}
+}
+
+func BenchmarkListContendedHotKeys(b *testing.B) {
+	l := NewList[int, int]()
+	const keyRange = 32
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(uint64(seed.Add(1)), 1))
+		p := &Proc{}
+		for pb.Next() {
+			k := int(rng.Uint64N(keyRange))
+			switch rng.Uint64N(3) {
+			case 0:
+				l.Insert(p, k, k)
+			case 1:
+				l.Delete(p, k)
+			default:
+				l.Search(p, k)
+			}
+		}
+	})
+}
+
+func BenchmarkSkipListSearch(b *testing.B) {
+	for _, n := range []int{1024, 65536, 1 << 20} {
+		b.Run(itoa(n), func(b *testing.B) {
+			l := NewSkipList[int, int]()
+			for k := 0; k < n; k++ {
+				l.Insert(nil, k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Search(nil, (i*7919)%n)
+			}
+		})
+	}
+}
+
+func BenchmarkSkipListInsertDelete(b *testing.B) {
+	l := NewSkipList[int, int]()
+	const n = 65536
+	for k := 0; k < n; k += 2 {
+		l.Insert(nil, k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := (i*2 + 1) % n
+		l.Insert(nil, k, k)
+		l.Delete(nil, k)
+	}
+}
+
+func BenchmarkSkipListMixedParallel(b *testing.B) {
+	l := NewSkipList[int, int]()
+	const keyRange = 4096
+	for k := 0; k < keyRange; k += 2 {
+		l.Insert(nil, k, k)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(uint64(seed.Add(1)), 2))
+		p := &Proc{}
+		for pb.Next() {
+			k := int(rng.Uint64N(keyRange))
+			switch rng.Uint64N(10) {
+			case 0:
+				l.Insert(p, k, k)
+			case 1:
+				l.Delete(p, k)
+			default:
+				l.Search(p, k)
+			}
+		}
+	})
+}
+
+// BenchmarkSkipListMaxLevelAblation measures how the maxLevel cap affects
+// search cost at a fixed size - the design-choice ablation DESIGN.md calls
+// out (too low a cap degrades to O(n/2^max); too high wastes head links).
+func BenchmarkSkipListMaxLevelAblation(b *testing.B) {
+	const n = 32768
+	for _, ml := range []int{4, 8, 16, 32} {
+		b.Run("maxLevel="+itoa(ml), func(b *testing.B) {
+			l := NewSkipList[int, int](WithMaxLevel(ml))
+			for k := 0; k < n; k++ {
+				l.Insert(nil, k, k)
+			}
+			st := &OpStats{}
+			p := &Proc{Stats: st}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Search(p, (i*7919)%n)
+			}
+			b.ReportMetric(float64(st.EssentialSteps())/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkSuccessorRecordAllocation isolates the cost of the wrapper
+// allocation that replaces the paper's pointer tag bits: one fresh
+// successor record per successful C&S.
+func BenchmarkSuccessorRecordAllocation(b *testing.B) {
+	l := NewList[int, int]()
+	l.Insert(nil, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// insert+delete of the same key: 1 insertion C&S + 3 deletion
+		// C&S's = 4 record allocations per iteration.
+		l.Insert(nil, 1, 1)
+		l.Delete(nil, 1)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/instrument"
+
+// The instrumentation types are shared with the baseline implementations
+// via internal/instrument; core re-exports them so callers of the primary
+// contribution need only import this package.
+
+type (
+	// OpStats accumulates the paper's essential-step counters; see
+	// instrument.OpStats.
+	OpStats = instrument.OpStats
+	// Proc identifies a process and carries optional instrumentation; see
+	// instrument.Proc.
+	Proc = instrument.Proc
+	// Hooks receives control at named synchronization points; see
+	// instrument.Hooks.
+	Hooks = instrument.Hooks
+	// HookFunc adapts a function to Hooks.
+	HookFunc = instrument.HookFunc
+	// Point names a synchronization point.
+	Point = instrument.Point
+)
+
+// Synchronization points, re-exported from internal/instrument.
+const (
+	PtSearchDone         = instrument.PtSearchDone
+	PtBeforeInsertCAS    = instrument.PtBeforeInsertCAS
+	PtAfterInsertCASFail = instrument.PtAfterInsertCASFail
+	PtBeforeFlagCAS      = instrument.PtBeforeFlagCAS
+	PtBeforeMarkCAS      = instrument.PtBeforeMarkCAS
+	PtBeforePhysicalCAS  = instrument.PtBeforePhysicalCAS
+	PtBacklinkStep       = instrument.PtBacklinkStep
+	PtHelpFlagged        = instrument.PtHelpFlagged
+	PtRestart            = instrument.PtRestart
+	PtAfterUnlink        = instrument.PtAfterUnlink
+)

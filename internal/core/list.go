@@ -1,0 +1,311 @@
+package core
+
+import (
+	"cmp"
+	"sync/atomic"
+)
+
+// List is the lock-free sorted linked list of Fomitchev and Ruppert. It
+// implements a dictionary keyed by K with no duplicate keys. All methods
+// are safe for concurrent use by any number of goroutines and the
+// implementation is lock-free: a delayed or stopped goroutine never
+// prevents others from completing operations.
+//
+// The zero value is not usable; construct with NewList.
+type List[K comparable, V any] struct {
+	head    *Node[K, V]
+	tail    *Node[K, V]
+	compare func(K, K) int
+	size    atomic.Int64
+}
+
+// NewList returns an empty list over a naturally ordered key type.
+func NewList[K cmp.Ordered, V any]() *List[K, V] {
+	return NewListFunc[K, V](cmp.Compare[K])
+}
+
+// NewListFunc returns an empty list ordered by the given comparison
+// function, which must define a strict total order (return <0, 0, >0 for
+// a<b, a==b, a>b) and be consistent with ==: compare(a,b)==0 iff a == b.
+func NewListFunc[K comparable, V any](compare func(K, K) int) *List[K, V] {
+	l := &List[K, V]{
+		head:    &Node[K, V]{kind: kindHead},
+		tail:    &Node[K, V]{kind: kindTail},
+		compare: compare,
+	}
+	l.head.succ.Store(&succ[K, V]{right: l.tail})
+	l.tail.succ.Store(&succ[K, V]{right: nil})
+	return l
+}
+
+// cmpNode orders node n against key k treating sentinels as -inf/+inf.
+func (l *List[K, V]) cmpNode(n *Node[K, V], k K) int {
+	switch n.kind {
+	case kindHead:
+		return -1
+	case kindTail:
+		return 1
+	default:
+		return l.compare(n.key, k)
+	}
+}
+
+// nodeLeq reports n.key <= k (strict=false) or n.key < k (strict=true).
+// The strict form implements the paper's "k - epsilon" searches.
+func (l *List[K, V]) nodeLeq(n *Node[K, V], k K, strict bool) bool {
+	c := l.cmpNode(n, k)
+	if strict {
+		return c < 0
+	}
+	return c <= 0
+}
+
+// Len returns the number of keys in the list. The count is maintained at
+// linearization points (insertion C&S, marking C&S), so it is exact in any
+// quiescent state and within the number of in-flight operations otherwise.
+func (l *List[K, V]) Len() int { return int(l.size.Load()) }
+
+// Head returns the head sentinel; used by invariant checkers and the skip
+// list. The sentinel itself never carries a key.
+func (l *List[K, V]) Head() *Node[K, V] { return l.head }
+
+// Tail returns the tail sentinel.
+func (l *List[K, V]) Tail() *Node[K, V] { return l.tail }
+
+// Search looks up k and returns its node, or nil if k is absent.
+// This is the paper's SEARCH routine (Figure 3).
+func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
+	curr, _ := l.searchFrom(p, k, l.head, false)
+	if l.cmpNode(curr, k) == 0 {
+		return curr
+	}
+	return nil
+}
+
+// Get looks up k and returns its value. Convenience wrapper over Search.
+func (l *List[K, V]) Get(p *Proc, k K) (V, bool) {
+	if n := l.Search(p, k); n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds k with value v. It returns the new node and true on success,
+// or the existing node and false if k is already present.
+// This is the paper's INSERT routine (Figure 5).
+func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	prev, next := l.searchFrom(p, k, l.head, false)
+	if l.cmpNode(prev, k) == 0 { // duplicate key
+		return prev, false
+	}
+	newNode := &Node[K, V]{key: k, val: v}
+	for {
+		prevSucc := prev.loadSucc()
+		if prevSucc.flagged {
+			// The predecessor is flagged: help the corresponding
+			// deletion complete before retrying (Insert lines 7-8).
+			l.helpFlagged(p, prev, prevSucc.right)
+		} else if !prevSucc.marked && prevSucc.right == next {
+			// Insertion attempt (Insert lines 10-11). The paper's C&S
+			// expects (next_node, 0, 0); with successor records the
+			// equivalent is CASing the exact unmarked, unflagged record
+			// whose right pointer is next.
+			newNode.succ.Store(&succ[K, V]{right: next})
+			p.At(PtBeforeInsertCAS)
+			ok := prev.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: newNode})
+			st.IncCAS(ok)
+			if ok {
+				l.size.Add(1)
+				return newNode, true
+			}
+			// Failure (Insert lines 14-18): inspect the value that beat
+			// us and recover accordingly.
+			p.At(PtAfterInsertCASFail)
+			result := prev.loadSucc()
+			if result.flagged {
+				l.helpFlagged(p, prev, result.right)
+			}
+			for prev.marked() {
+				st.IncBacklink()
+				p.At(PtBacklinkStep)
+				prev = prev.backlink.Load()
+			}
+		} else {
+			// The successor field changed since our search: redirected,
+			// marked, or both. Walk backlinks past any marked nodes,
+			// then re-search from there (never from the head).
+			st.IncCAS(false) // the paper's C&S would have been attempted and failed
+			if prevSucc.marked {
+				for prev.marked() {
+					st.IncBacklink()
+					p.At(PtBacklinkStep)
+					prev = prev.backlink.Load()
+				}
+			}
+		}
+		prev, next = l.searchFrom(p, k, prev, false) // Insert line 19
+		if l.cmpNode(prev, k) == 0 {
+			return prev, false // duplicate inserted concurrently (lines 20-22)
+		}
+	}
+}
+
+// Delete removes k. It returns the deleted node and true on success, or
+// nil and false if k was absent (or a concurrent deletion won the race).
+// This is the paper's DELETE routine (Figure 4).
+func (l *List[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
+	prev, delNode := l.searchFrom(p, k, l.head, true) // SearchFrom(k - eps, head)
+	if l.cmpNode(delNode, k) != 0 {                   // k is not in the list
+		return nil, false
+	}
+	prev, result := l.tryFlag(p, prev, delNode)
+	if prev != nil {
+		l.helpFlagged(p, prev, delNode)
+	}
+	if !result {
+		return nil, false
+	}
+	return delNode, true
+}
+
+// searchFrom is the paper's SEARCHFROM routine (Figure 3). Starting from
+// curr (whose key must order <= k, or < k in strict mode), it returns two
+// nodes n1, n2 such that at some instant during the call n1.right == n2
+// and n1.key <= k < n2.key (strict: n1.key < k <= n2.key). It physically
+// deletes any logically deleted node it passes by calling helpMarked.
+func (l *List[K, V]) searchFrom(p *Proc, k K, curr *Node[K, V], strict bool) (*Node[K, V], *Node[K, V]) {
+	st := p.StatsOrNil()
+	next := curr.right()
+	for l.nodeLeq(next, k, strict) {
+		// Ensure that either next is unmarked, or both curr and next are
+		// marked and curr was marked earlier (SearchFrom lines 3-6).
+		for {
+			nextSucc := next.loadSucc()
+			if !nextSucc.marked {
+				break
+			}
+			currSucc := curr.loadSucc()
+			if currSucc.marked && currSucc.right == next {
+				break
+			}
+			if currSucc.right == next {
+				l.helpMarked(p, curr, next)
+			}
+			next = curr.right()
+			st.IncNext()
+		}
+		if l.nodeLeq(next, k, strict) {
+			curr = next
+			st.IncCurr()
+			next = curr.right()
+			st.IncNext()
+		}
+	}
+	p.At(PtSearchDone)
+	return curr, next
+}
+
+// helpMarked attempts the physical deletion of the marked node delNode and
+// the unflagging of prevNode with a single C&S (Figure 3, HELPMARKED).
+func (l *List[K, V]) helpMarked(p *Proc, prevNode, delNode *Node[K, V]) {
+	p.StatsOrNil().IncHelp()
+	next := delNode.right() // frozen: delNode is marked
+	prevSucc := prevNode.loadSucc()
+	if prevSucc.right != delNode || prevSucc.marked || !prevSucc.flagged {
+		return // someone already completed (or the state moved on)
+	}
+	p.At(PtBeforePhysicalCAS)
+	ok := prevNode.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: next})
+	p.StatsOrNil().IncCAS(ok)
+	if ok {
+		// The winning C&S is the unique moment delNode leaves the list:
+		// hand it to the process's reclamation scheme, if any.
+		p.RetireNode(delNode)
+	}
+}
+
+// helpFlagged completes the deletion of delNode, the successor of the
+// flagged node prevNode: set the backlink, mark, then physically delete
+// (Figure 4, HELPFLAGGED).
+func (l *List[K, V]) helpFlagged(p *Proc, prevNode, delNode *Node[K, V]) {
+	p.StatsOrNil().IncHelp()
+	p.At(PtHelpFlagged)
+	delNode.backlink.Store(prevNode)
+	if !delNode.marked() {
+		l.tryMark(p, delNode)
+	}
+	l.helpMarked(p, prevNode, delNode)
+}
+
+// tryMark marks delNode, helping any deletion that flagged it first
+// (Figure 4, TRYMARK). On return delNode is marked.
+func (l *List[K, V]) tryMark(p *Proc, delNode *Node[K, V]) {
+	st := p.StatsOrNil()
+	for {
+		s := delNode.loadSucc()
+		if s.marked {
+			return
+		}
+		if s.flagged {
+			// Failure due to flagging: help that deletion first.
+			l.helpFlagged(p, delNode, s.right)
+			continue
+		}
+		p.At(PtBeforeMarkCAS)
+		ok := delNode.succ.CompareAndSwap(s, &succ[K, V]{right: s.right, marked: true})
+		st.IncCAS(ok)
+		if ok {
+			l.size.Add(-1) // linearization point of the deletion
+			return
+		}
+	}
+}
+
+// tryFlag attempts to flag the predecessor of target (Figure 5, TRYFLAG).
+// prev is the last node known to precede target. It returns:
+//
+//   - (pred, true) if this call flagged target's predecessor;
+//   - (pred, false) if another process flagged it (that deletion will
+//     report success);
+//   - (nil, false) if target was deleted from the list.
+func (l *List[K, V]) tryFlag(p *Proc, prev, target *Node[K, V]) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	for {
+		prevSucc := prev.loadSucc()
+		if prevSucc.right == target && !prevSucc.marked && prevSucc.flagged {
+			return prev, false // predecessor already flagged (line 2-3)
+		}
+		if prevSucc.right == target && !prevSucc.marked && !prevSucc.flagged {
+			p.At(PtBeforeFlagCAS)
+			ok := prev.succ.CompareAndSwap(prevSucc,
+				&succ[K, V]{right: target, flagged: true})
+			st.IncCAS(ok)
+			if ok {
+				return prev, true // successful flagging (lines 5-6)
+			}
+			result := prev.loadSucc()
+			if result.right == target && !result.marked && result.flagged {
+				return prev, false // concurrent flagging won (lines 7-8)
+			}
+		} else {
+			// The paper's C&S at line 4 would have been attempted and
+			// failed with this value.
+			st.IncCAS(false)
+		}
+		// Possibly a failure due to marking: traverse backlinks to the
+		// first unmarked node (lines 9-10).
+		for prev.marked() {
+			st.IncBacklink()
+			p.At(PtBacklinkStep)
+			prev = prev.backlink.Load()
+		}
+		// Re-locate target's predecessor (lines 11-13).
+		var delNode *Node[K, V]
+		prev, delNode = l.searchFrom(p, target.key, prev, true)
+		if delNode != target {
+			return nil, false // target got deleted
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestListEmpty(t *testing.T) {
+	l := NewList[int, string]()
+	if n := l.Search(nil, 1); n != nil {
+		t.Fatalf("Search on empty list = %v, want nil", n)
+	}
+	if got := l.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+	if _, ok := l.Delete(nil, 1); ok {
+		t.Fatal("Delete on empty list succeeded")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListInsertSearchDelete(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 100; i++ {
+		if _, ok := l.Insert(nil, i, i*10); !ok {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if got := l.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := l.Get(nil, i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d, %t; want %d, true", i, v, ok, i*10)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 2 {
+		if _, ok := l.Delete(nil, i); !ok {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := l.Get(nil, i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%t, want %t", i, ok, want)
+		}
+	}
+	if got := l.Len(); got != 50 {
+		t.Fatalf("Len = %d, want 50", got)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListDuplicateInsert(t *testing.T) {
+	l := NewList[string, int]()
+	n1, ok := l.Insert(nil, "k", 1)
+	if !ok {
+		t.Fatal("first insert failed")
+	}
+	n2, ok := l.Insert(nil, "k", 2)
+	if ok {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if n2 != n1 {
+		t.Fatal("duplicate insert did not return the existing node")
+	}
+	if v, _ := l.Get(nil, "k"); v != 1 {
+		t.Fatalf("value overwritten by duplicate insert: %d", v)
+	}
+}
+
+func TestListReverseAndRandomOrder(t *testing.T) {
+	for _, name := range []string{"reverse", "random"} {
+		t.Run(name, func(t *testing.T) {
+			keys := make([]int, 500)
+			for i := range keys {
+				keys[i] = i
+			}
+			if name == "reverse" {
+				sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+			} else {
+				rng := rand.New(rand.NewPCG(1, 2))
+				rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+			}
+			l := NewList[int, int]()
+			for _, k := range keys {
+				l.Insert(nil, k, k)
+			}
+			var got []int
+			l.Ascend(func(k, _ int) bool { got = append(got, k); return true })
+			if !sort.IntsAreSorted(got) || len(got) != 500 {
+				t.Fatalf("ascend produced %d keys, sorted=%t", len(got), sort.IntsAreSorted(got))
+			}
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestListConcurrentDisjointKeys(t *testing.T) {
+	l := NewList[int, int]()
+	const workers, per = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &Proc{ID: w}
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if _, ok := l.Insert(p, k, k); !ok {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Len(); got != workers*per {
+		t.Fatalf("Len = %d, want %d", got, workers*per)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete everything concurrently.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &Proc{ID: w}
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if _, ok := l.Delete(p, k); !ok {
+					t.Errorf("Delete(%d) failed", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Len(); got != 0 {
+		t.Fatalf("Len after deletes = %d, want 0", got)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListConcurrentContendedStress(t *testing.T) {
+	l := NewList[int, int]()
+	const workers = 8
+	const ops = 3000
+	const keyRange = 64 // hot: forces flag/mark/backlink interference
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 42))
+			p := &Proc{ID: w}
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					l.Insert(p, k, k)
+				case 1:
+					l.Delete(p, k)
+				default:
+					l.Search(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving keys must be a subset of the key range with no
+	// duplicates, and Len must agree with the traversal.
+	seen := map[int]bool{}
+	count := 0
+	l.Ascend(func(k, _ int) bool {
+		if seen[k] {
+			t.Errorf("duplicate key %d in list", k)
+		}
+		seen[k] = true
+		if k < 0 || k >= keyRange {
+			t.Errorf("key %d out of range", k)
+		}
+		count++
+		return true
+	})
+	if got := l.Len(); got != count {
+		t.Fatalf("Len = %d but traversal found %d", got, count)
+	}
+}
+
+// TestListDeleteContention has all workers fight over the same keys so
+// that TryFlag frequently loses races and must report the concurrent
+// deletion; exactly one Delete per key may succeed.
+func TestListDeleteContention(t *testing.T) {
+	const workers = 8
+	const keys = 200
+	for round := 0; round < 10; round++ {
+		l := NewList[int, int]()
+		for k := 0; k < keys; k++ {
+			l.Insert(nil, k, k)
+		}
+		wins := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := &Proc{ID: w}
+				for k := 0; k < keys; k++ {
+					if _, ok := l.Delete(p, k); ok {
+						wins[w]++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for _, n := range wins {
+			total += n
+		}
+		if total != keys {
+			t.Fatalf("round %d: %d successful deletions of %d keys", round, total, keys)
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("round %d: Len = %d, want 0", round, got)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestListMixedChurnModel compares against a mutex-protected model map:
+// with per-worker disjoint key ownership the final state is deterministic.
+func TestListMixedChurnModel(t *testing.T) {
+	l := NewList[int, int]()
+	const workers = 6
+	const perWorkerKeys = 100
+	const ops = 2000
+	finals := make([]map[int]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w)+7, 99))
+			p := &Proc{ID: w}
+			model := map[int]int{}
+			base := w * perWorkerKeys
+			for i := 0; i < ops; i++ {
+				k := base + int(rng.Uint64N(perWorkerKeys))
+				if rng.Uint64N(2) == 0 {
+					_, ok := l.Insert(p, k, k)
+					_, inModel := model[k]
+					if ok == inModel {
+						t.Errorf("Insert(%d) = %t but model presence = %t", k, ok, inModel)
+						return
+					}
+					if ok {
+						model[k] = k
+					}
+				} else {
+					_, ok := l.Delete(p, k)
+					_, inModel := model[k]
+					if ok != inModel {
+						t.Errorf("Delete(%d) = %t but model presence = %t", k, ok, inModel)
+						return
+					}
+					delete(model, k)
+				}
+			}
+			finals[w] = model
+		}(w)
+	}
+	wg.Wait()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for w, m := range finals {
+		want += len(m)
+		for k := range m {
+			if _, ok := l.Get(nil, k); !ok {
+				t.Errorf("worker %d: key %d in model but missing from list", w, k)
+			}
+		}
+	}
+	if got := l.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestListStatsCounting(t *testing.T) {
+	l := NewList[int, int]()
+	st := &OpStats{}
+	p := &Proc{Stats: st}
+	for i := 0; i < 50; i++ {
+		l.Insert(p, i, i)
+	}
+	if st.CASSuccesses != 50 {
+		t.Fatalf("CASSuccesses = %d, want 50 (one insertion C&S each)", st.CASSuccesses)
+	}
+	if st.CASAttempts < 50 {
+		t.Fatalf("CASAttempts = %d, want >= 50", st.CASAttempts)
+	}
+	if st.CurrUpdates == 0 {
+		t.Fatal("CurrUpdates = 0, want traversal steps")
+	}
+	st.Reset()
+	l.Delete(p, 25)
+	// An uncontended deletion needs exactly three successful C&S's:
+	// flag, mark, physical delete.
+	if st.CASSuccesses != 3 {
+		t.Fatalf("CASSuccesses for one deletion = %d, want 3", st.CASSuccesses)
+	}
+	if st.BacklinkTraversals != 0 {
+		t.Fatalf("BacklinkTraversals = %d, want 0 without contention", st.BacklinkTraversals)
+	}
+}
+
+func TestListEssentialSteps(t *testing.T) {
+	st := &OpStats{CASAttempts: 2, BacklinkTraversals: 3, NextUpdates: 5, CurrUpdates: 7, HelpCalls: 100}
+	if got := st.EssentialSteps(); got != 17 {
+		t.Fatalf("EssentialSteps = %d, want 17 (help calls are not billed)", got)
+	}
+	var sum OpStats
+	sum.Add(st)
+	sum.Add(st)
+	if sum.CurrUpdates != 14 {
+		t.Fatalf("Add did not accumulate: %+v", sum)
+	}
+}
+
+func TestListStringKeys(t *testing.T) {
+	l := NewList[string, int]()
+	words := []string{"pear", "apple", "zebra", "mango", "apricot", ""}
+	for i, w := range words {
+		if _, ok := l.Insert(nil, w, i); !ok {
+			t.Fatalf("Insert(%q) failed", w)
+		}
+	}
+	var got []string
+	l.Ascend(func(k string, _ int) bool { got = append(got, k); return true })
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("not sorted: %q", got)
+	}
+	if _, ok := l.Get(nil, ""); !ok {
+		t.Fatal("empty-string key lost")
+	}
+}
+
+func ExampleList() {
+	l := NewList[int, string]()
+	l.Insert(nil, 2, "two")
+	l.Insert(nil, 1, "one")
+	l.Insert(nil, 3, "three")
+	l.Delete(nil, 2)
+	l.Ascend(func(k int, v string) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 1 one
+	// 3 three
+}

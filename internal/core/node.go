@@ -1,0 +1,75 @@
+// Package core implements the lock-free sorted linked list and skip list of
+// Fomitchev and Ruppert, "Lock-Free Linked Lists and Skip Lists" (PODC 2004).
+//
+// The linked list follows the paper's Figures 3-5: deletion is a three-step
+// protocol (flag the predecessor, set the victim's backlink and mark it,
+// physically unlink it), and operations that fail a C&S because of a
+// concurrent deletion recover by walking backlinks instead of restarting
+// from the head.
+//
+// Go has no spare pointer bits, so the paper's composite successor word
+// (right pointer + mark bit + flag bit) is represented by an immutable
+// successor record swapped with a single-word CAS on an atomic.Pointer.
+// A record is never mutated after publication, so the paper's central
+// invariant - a marked successor field never changes - holds by
+// construction, and the garbage collector rules out ABA.
+package core
+
+import (
+	"sync/atomic"
+)
+
+// nodeKind distinguishes the two sentinel nodes from interior nodes.
+// Sentinels let the list hold arbitrary ordered keys without reserving
+// -inf/+inf key values.
+type nodeKind int8
+
+const (
+	kindInterior nodeKind = iota
+	kindHead              // compares less than every key
+	kindTail              // compares greater than every key
+)
+
+// succ is the paper's composite successor field: (right, mark, flag).
+// Records are immutable; every successful C&S installs a fresh record.
+type succ[K comparable, V any] struct {
+	right   *Node[K, V]
+	marked  bool
+	flagged bool
+}
+
+// Node is a single cell of the lock-free linked list. Key and value are
+// fixed at creation; succ and backlink are the only mutable fields.
+type Node[K comparable, V any] struct {
+	key  K
+	val  V
+	kind nodeKind
+
+	succ     atomic.Pointer[succ[K, V]]
+	backlink atomic.Pointer[Node[K, V]]
+}
+
+// Key returns the node's key. Calling Key on a sentinel is invalid; the
+// list never hands sentinels to callers.
+func (n *Node[K, V]) Key() K { return n.key }
+
+// Value returns the element stored when the node was inserted. Values are
+// immutable for the lifetime of a node, matching the paper's dictionary
+// semantics (no update operation).
+func (n *Node[K, V]) Value() V { return n.val }
+
+// loadSucc returns the current successor record. It is never nil after the
+// node is published.
+func (n *Node[K, V]) loadSucc() *succ[K, V] { return n.succ.Load() }
+
+// marked reports whether the node is logically deleted (its mark bit set).
+func (n *Node[K, V]) marked() bool {
+	s := n.succ.Load()
+	return s != nil && s.marked
+}
+
+// right returns the current right pointer, ignoring mark/flag bits.
+func (n *Node[K, V]) right() *Node[K, V] { return n.succ.Load().right }
+
+// Key comparisons treating sentinels as -inf/+inf live on the List (it
+// owns the compare function); see List.cmpNode and List.nodeLeq.

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"cmp"
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// DefaultMaxLevel is the default height of the head and tail towers.
+// Interior towers are capped one below it, so level DefaultMaxLevel is
+// always an empty express lane, which keeps the upward search for a start
+// level bounded.
+const DefaultMaxLevel = 32
+
+// SkipList is the lock-free skip list of Fomitchev and Ruppert (Section 4).
+// Each level is an instance of the paper's lock-free linked list; a key is
+// a tower of nodes built bottom-up on insertion and torn down root-first,
+// then top-down, on deletion. Searches physically delete any superfluous
+// tower nodes they encounter so that backlink chains on a level cannot be
+// traversed repeatedly.
+//
+// All methods are safe for concurrent use and the implementation is
+// lock-free. Construct with NewSkipList.
+type SkipList[K comparable, V any] struct {
+	compare  func(K, K) int
+	maxLevel int
+	heads    []*SLNode[K, V] // head tower, index 0 = level 1
+	tails    []*SLNode[K, V] // tail tower, index 0 = level 1
+	rng      func() uint64   // thread-safe source of random bits
+	size     atomic.Int64
+}
+
+// SkipListOption configures a SkipList.
+type SkipListOption func(*skipListConfig)
+
+type skipListConfig struct {
+	maxLevel int
+	rng      func() uint64
+}
+
+// WithMaxLevel sets the head-tower height (interior towers grow to at most
+// maxLevel-1). maxLevel must be at least 2; values outside [2, 64] are
+// clamped.
+func WithMaxLevel(maxLevel int) SkipListOption {
+	return func(c *skipListConfig) {
+		c.maxLevel = min(max(maxLevel, 2), 64)
+	}
+}
+
+// WithRandomSource supplies the source of random bits used for tower-height
+// coin flips. The function must be safe for concurrent use. Intended for
+// deterministic tests and the height-distribution experiment (E6).
+func WithRandomSource(rng func() uint64) SkipListOption {
+	return func(c *skipListConfig) { c.rng = rng }
+}
+
+// NewSkipList returns an empty skip list over a naturally ordered key
+// type.
+func NewSkipList[K cmp.Ordered, V any](opts ...SkipListOption) *SkipList[K, V] {
+	return NewSkipListFunc[K, V](cmp.Compare[K], opts...)
+}
+
+// NewSkipListFunc returns an empty skip list ordered by the given
+// comparison function, which must define a strict total order consistent
+// with ==: compare(a,b)==0 iff a == b.
+func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipListOption) *SkipList[K, V] {
+	cfg := skipListConfig{maxLevel: DefaultMaxLevel, rng: rand.Uint64}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	l := &SkipList[K, V]{
+		compare:  compare,
+		maxLevel: cfg.maxLevel,
+		heads:    make([]*SLNode[K, V], cfg.maxLevel),
+		tails:    make([]*SLNode[K, V], cfg.maxLevel),
+		rng:      cfg.rng,
+	}
+	for i := 0; i < cfg.maxLevel; i++ {
+		l.heads[i] = &SLNode[K, V]{kind: kindHead, level: i + 1}
+		l.tails[i] = &SLNode[K, V]{kind: kindTail, level: i + 1}
+	}
+	for i := 0; i < cfg.maxLevel; i++ {
+		h, t := l.heads[i], l.tails[i]
+		h.towerRoot, t.towerRoot = l.heads[0], l.tails[0]
+		h.succ.Store(&slSucc[K, V]{right: t})
+		t.succ.Store(&slSucc[K, V]{right: nil})
+		if i > 0 {
+			h.down, t.down = l.heads[i-1], l.tails[i-1]
+		}
+		if i < cfg.maxLevel-1 {
+			h.up, t.up = l.heads[i+1], l.tails[i+1]
+		} else {
+			h.up, t.up = h, t // top of the towers
+		}
+	}
+	return l
+}
+
+// Len returns the number of keys stored. Exact in quiescent states.
+func (l *SkipList[K, V]) Len() int { return int(l.size.Load()) }
+
+// MaxLevel returns the configured head-tower height.
+func (l *SkipList[K, V]) MaxLevel() int { return l.maxLevel }
+
+// HeadAt returns the head sentinel of the given level (1-based); used by
+// the structure validator and statistics collectors.
+func (l *SkipList[K, V]) HeadAt(level int) *SLNode[K, V] { return l.heads[level-1] }
+
+// TailAt returns the tail sentinel of the given level (1-based).
+func (l *SkipList[K, V]) TailAt(level int) *SLNode[K, V] { return l.tails[level-1] }
+
+// randomHeight draws a tower height from the geometric(1/2) distribution,
+// capped at maxLevel-1: height h is chosen with probability 2^-h (mass of
+// the cap absorbs the tail), exactly the paper's repeated coin flips.
+func (l *SkipList[K, V]) randomHeight() int {
+	r := l.rng()
+	h := 1 + bits.TrailingZeros64(^r) // count leading "heads" flips
+	return min(h, l.maxLevel-1)
+}
+
+// Search looks up k and returns its root node, or nil if k is absent.
+// This is SEARCH_SL.
+func (l *SkipList[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
+	curr, _ := l.searchToLevel(p, k, 1, false)
+	if l.cmpNode(curr, k) == 0 {
+		return curr
+	}
+	return nil
+}
+
+// cmpNode orders node n against key k treating sentinels as -inf/+inf.
+func (l *SkipList[K, V]) cmpNode(n *SLNode[K, V], k K) int {
+	switch n.kind {
+	case kindHead:
+		return -1
+	case kindTail:
+		return 1
+	default:
+		return l.compare(n.key, k)
+	}
+}
+
+// nodeLeq reports n.key <= k (strict=false) or n.key < k (strict=true).
+func (l *SkipList[K, V]) nodeLeq(n *SLNode[K, V], k K, strict bool) bool {
+	c := l.cmpNode(n, k)
+	if strict {
+		return c < 0
+	}
+	return c <= 0
+}
+
+// Get looks up k and returns its value.
+func (l *SkipList[K, V]) Get(p *Proc, k K) (V, bool) {
+	if n := l.Search(p, k); n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds k with value v, building the new tower bottom-up. It returns
+// the root node and true on success, or the existing root and false if k
+// is already present. The insertion is linearized at the root node's
+// insertion C&S. This is INSERT_SL.
+func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
+	prev, next := l.searchToLevel(p, k, 1, false)
+	if l.cmpNode(prev, k) == 0 {
+		return prev, false // duplicate key
+	}
+	root := &SLNode[K, V]{key: k, val: v, level: 1}
+	root.towerRoot = root
+	height := l.randomHeight()
+	newNode := root
+	lv := 1
+	for {
+		var inserted bool
+		prev, inserted = l.insertNode(p, newNode, prev, next)
+		if !inserted && lv == 1 {
+			return prev, false // a concurrent insertion won with the same key
+		}
+		if root.marked() {
+			// Our tower became superfluous while we were building it: a
+			// concurrent deletion removed the root. Undo the node we may
+			// just have added and report success (the insertion
+			// linearized at the root C&S, before the deletion).
+			if inserted && newNode != root {
+				l.deleteNode(p, prev, newNode)
+			}
+			return root, true
+		}
+		if !inserted {
+			// Duplicate at an upper level: it can only belong to a
+			// superfluous tower (or our root is marked, handled above).
+			// Re-search - which removes superfluous nodes - and retry.
+			prev, next = l.searchToLevel(p, k, lv, false)
+			continue
+		}
+		lv++
+		if lv > height {
+			return root, true // tower construction finished
+		}
+		newNode = &SLNode[K, V]{key: k, level: lv, down: newNode, towerRoot: root}
+		prev, next = l.searchToLevel(p, k, lv, false)
+	}
+}
+
+// Delete removes k. It deletes the root node first (making the remaining
+// tower superfluous and linearizing the deletion when the root is marked),
+// then sweeps levels >= 2 to physically remove the rest of the tower.
+// This is DELETE_SL.
+func (l *SkipList[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
+	prev, delNode := l.searchToLevel(p, k, 1, true) // SearchToLevel_SL(k - eps, 1)
+	if l.cmpNode(delNode, k) != 0 {
+		return nil, false // no such key
+	}
+	if !l.deleteNode(p, prev, delNode) {
+		return nil, false // a concurrent deletion won
+	}
+	// Remove the superfluous nodes of the tower (top-down, as the
+	// descending search encounters them).
+	l.searchToLevel(p, k, 2, false)
+	return delNode, true
+}

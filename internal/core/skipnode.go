@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// slSucc is the composite successor field of a skip-list node, analogous to
+// succ for the plain list: (right, mark, flag) swapped atomically as an
+// immutable record.
+type slSucc[K comparable, V any] struct {
+	right   *SLNode[K, V]
+	marked  bool
+	flagged bool
+}
+
+// SLNode is one node of the lock-free skip list. Following the paper's
+// Figure 6, every key is represented by a tower of nodes; the bottom node
+// of a tower is its root and carries the element. Nodes on the same level
+// form an instance of the paper's lock-free linked list.
+//
+// down and towerRoot are fixed at creation. up pointers exist only inside
+// the head and tail towers (the top node's up points to itself).
+type SLNode[K comparable, V any] struct {
+	key  K
+	val  V // meaningful only on root nodes
+	kind nodeKind
+
+	// level is 1 for root nodes, counting upward. Recorded for structure
+	// validation and statistics; the algorithms themselves never read it.
+	level int
+
+	succ     atomic.Pointer[slSucc[K, V]]
+	backlink atomic.Pointer[SLNode[K, V]]
+
+	down      *SLNode[K, V] // node one level below, nil on roots
+	towerRoot *SLNode[K, V] // root of this node's tower (self on roots)
+	up        *SLNode[K, V] // head/tail towers only
+}
+
+// Key returns the node's key.
+func (n *SLNode[K, V]) Key() K { return n.key }
+
+// Value returns the element stored in the node's tower root.
+func (n *SLNode[K, V]) Value() V { return n.towerRoot.val }
+
+// Level returns the node's level (1 = root level).
+func (n *SLNode[K, V]) Level() int { return n.level }
+
+// TowerRoot returns the root node of this node's tower.
+func (n *SLNode[K, V]) TowerRoot() *SLNode[K, V] { return n.towerRoot }
+
+func (n *SLNode[K, V]) loadSucc() *slSucc[K, V] { return n.succ.Load() }
+
+func (n *SLNode[K, V]) marked() bool {
+	s := n.succ.Load()
+	return s != nil && s.marked
+}
+
+func (n *SLNode[K, V]) right() *SLNode[K, V] { return n.succ.Load().right }
+
+// isRoot reports whether n is the root node of its tower.
+func (n *SLNode[K, V]) isRoot() bool { return n.towerRoot == n }
+
+// superfluous reports whether n belongs to a tower whose root has been
+// marked (Section 4): such nodes are removed by searches that encounter
+// them.
+func (n *SLNode[K, V]) superfluous() bool {
+	return n.kind == kindInterior && n.towerRoot.marked()
+}
+
+// Key comparisons treating sentinels as -inf/+inf live on the SkipList
+// (it owns the compare function); see SkipList.cmpNode and SkipList.nodeLeq.

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// E1 verifies the paper's main theorem (Section 3.4): the amortized cost
+// of a linked-list operation S is O(n(S) + c(S)). It measures the
+// essential steps per operation (C&S attempts + backlink traversals +
+// next/curr updates - exactly the steps the paper's billing scheme counts)
+// in two sweeps:
+//
+//   - list size n grows at fixed contention: steps/op must grow linearly
+//     in n (the necessary search cost), and
+//   - contention c grows at fixed n: steps/op must grow by at most an
+//     additive O(c) term, not multiplicatively.
+type E1Result struct {
+	NSweep []E1Row
+	CSweep []E1Row
+	// NFit is the least-squares fit of mean steps/op against n; the
+	// theorem predicts a line with high R^2.
+	NFit stats.LinearFit
+	// CFit is the fit of the contention overhead (mean steps/op minus the
+	// c=1 baseline) against c; the theorem predicts at most linear
+	// growth.
+	CFit stats.LinearFit
+}
+
+// E1Row is one measured configuration.
+type E1Row struct {
+	N, C  int
+	Steps stats.Summary // essential steps per operation, all kinds
+	// Per-operation-kind means: the theorem's O(n) necessary cost is the
+	// search, shared by all three operations; updates add only their O(1)
+	// C&S's, so the three means should sit within a few steps of each
+	// other.
+	SearchMean, InsertMean, DeleteMean float64
+}
+
+// E1Config parameterizes the sweeps.
+type E1Config struct {
+	Ns        []int // list sizes for the n-sweep
+	Cs        []int // worker counts for the c-sweep
+	FixedC    int   // contention during the n-sweep
+	FixedN    int   // list size during the c-sweep
+	OpsPerRun int   // measured operations per configuration
+	Seed      uint64
+}
+
+// DefaultE1Config returns the configuration used by the harness.
+func DefaultE1Config() E1Config {
+	return E1Config{
+		Ns:        []int{250, 500, 1000, 2000, 4000, 8000},
+		Cs:        []int{1, 2, 4, 8, 16, 32},
+		FixedC:    4,
+		FixedN:    64,
+		OpsPerRun: 4000,
+		Seed:      1,
+	}
+}
+
+// RunE1 executes both sweeps and fits the predicted shapes.
+func RunE1(cfg E1Config) E1Result {
+	var res E1Result
+	var xs, ys []float64
+	for _, n := range cfg.Ns {
+		row := runE1Config(n, cfg.FixedC, cfg.OpsPerRun, cfg.Seed)
+		res.NSweep = append(res.NSweep, row)
+		xs = append(xs, float64(n))
+		ys = append(ys, row.Steps.Mean)
+	}
+	res.NFit = stats.FitLinear(xs, ys)
+
+	var cxs, cys []float64
+	var baseline float64
+	for i, c := range cfg.Cs {
+		row := runE1Config(cfg.FixedN, c, cfg.OpsPerRun, cfg.Seed+uint64(i)+1)
+		res.CSweep = append(res.CSweep, row)
+		if i == 0 {
+			baseline = row.Steps.Mean
+		}
+		cxs = append(cxs, float64(c))
+		cys = append(cys, row.Steps.Mean-baseline)
+	}
+	res.CFit = stats.FitLinear(cxs, cys)
+	return res
+}
+
+// runE1Config measures essential steps per operation on a list prefilled
+// with n keys, under c concurrent workers running a balanced mix.
+func runE1Config(n, c, ops int, seed uint64) E1Row {
+	l := core.NewList[int, int]()
+	keyRange := 2 * n
+	for k := 0; k < keyRange; k += 2 {
+		l.Insert(nil, k, k)
+	}
+	perOp := make([][]float64, c)
+	perKind := make([][3][]float64, c) // search, insert, delete
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(w)))
+			st := &core.OpStats{}
+			p := &core.Proc{ID: w, Stats: st}
+			samples := make([]float64, 0, ops/c+1)
+			var kinds [3][]float64
+			var prev uint64
+			for i := 0; i < ops/c; i++ {
+				k := int(rng.Uint64N(uint64(keyRange)))
+				kind := 0
+				switch rng.Uint64N(4) {
+				case 0:
+					kind = 1
+					l.Insert(p, k, k)
+				case 1:
+					kind = 2
+					l.Delete(p, k)
+				default:
+					l.Search(p, k)
+				}
+				cur := st.EssentialSteps()
+				d := float64(cur - prev)
+				samples = append(samples, d)
+				kinds[kind] = append(kinds[kind], d)
+				prev = cur
+			}
+			perOp[w] = samples
+			perKind[w] = kinds
+		}(w)
+	}
+	wg.Wait()
+	var all []float64
+	var byKind [3][]float64
+	for w := range perOp {
+		all = append(all, perOp[w]...)
+		for k := 0; k < 3; k++ {
+			byKind[k] = append(byKind[k], perKind[w][k]...)
+		}
+	}
+	return E1Row{N: n, C: c, Steps: stats.Summarize(all),
+		SearchMean: stats.Summarize(byKind[0]).Mean,
+		InsertMean: stats.Summarize(byKind[1]).Mean,
+		DeleteMean: stats.Summarize(byKind[2]).Mean,
+	}
+}
+
+// Render formats both sweeps.
+func (r E1Result) Render() string {
+	t1 := Table{
+		Title: "E1a: amortized cost vs list size n (fixed contention)",
+		Columns: []string{"n", "c", "mean steps/op", "p50", "p99",
+			"search", "insert", "delete"},
+	}
+	for _, row := range r.NSweep {
+		t1.AddRow(d(row.N), d(row.C), f(row.Steps.Mean), f(row.Steps.P50), f(row.Steps.P99),
+			f(row.SearchMean), f(row.InsertMean), f(row.DeleteMean))
+	}
+	t1.Notes = append(t1.Notes,
+		"theorem predicts steps/op = Theta(n): linear fit slope "+f(r.NFit.Slope)+
+			" steps/key, R^2 "+f(r.NFit.R2))
+
+	t2 := Table{
+		Title:   "E1b: amortized cost vs contention c (fixed n)",
+		Columns: []string{"n", "c", "mean steps/op", "p50", "p99", "overhead vs c=1"},
+	}
+	base := 0.0
+	for i, row := range r.CSweep {
+		if i == 0 {
+			base = row.Steps.Mean
+		}
+		t2.AddRow(d(row.N), d(row.C), f(row.Steps.Mean), f(row.Steps.P50), f(row.Steps.P99),
+			f(row.Steps.Mean-base))
+	}
+	t2.Notes = append(t2.Notes,
+		"theorem predicts additive O(c) overhead: overhead fit slope "+
+			f(r.CFit.Slope)+" steps per unit contention")
+	return t1.Render() + "\n" + t2.Render()
+}

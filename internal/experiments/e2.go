@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/harris"
+	"repro/internal/instrument"
+	"repro/internal/noflag"
+	"repro/internal/stats"
+)
+
+// E2 reproduces the adversarial execution of Section 3.1, the paper's
+// centerpiece comparison against Harris's list. One process repeatedly
+// deletes the last node of the list while q-1 processes try to insert new
+// keys at the end; the adversary lets the deleter mark the last node after
+// every inserter has located its insertion position but before any of them
+// performs its C&S. Under Harris's restart-from-head recovery each
+// inserter then re-traverses the whole list every round, for total work
+// Omega(q * n^2); with the paper's backlinks each recovery costs O(1), for
+// total work O(q*(n + rounds)).
+//
+// The experiment runs the exact schedule against both implementations
+// using hook-based choreography and reports each inserter's essential
+// steps for its single Insert operation.
+type E2Result struct {
+	Rows []E2Row
+}
+
+// E2Row is one (implementation, q, n) configuration.
+type E2Row struct {
+	Impl          string
+	Q, N, Rounds  int
+	InserterSteps stats.Summary // total essential steps per inserter operation
+}
+
+// E2Config parameterizes the experiment.
+type E2Config struct {
+	Qs []int // total processes (1 deleter + q-1 inserters)
+	Ns []int // initial list sizes
+}
+
+// DefaultE2Config returns the configuration used by the harness.
+func DefaultE2Config() E2Config {
+	return E2Config{Qs: []int{4, 8}, Ns: []int{256, 512, 1024, 2048}}
+}
+
+// RunE2 executes the schedule for every configuration and implementation.
+func RunE2(cfg E2Config) E2Result {
+	var res E2Result
+	for _, q := range cfg.Qs {
+		for _, n := range cfg.Ns {
+			rounds := n / 2
+			res.Rows = append(res.Rows, runE2FR(q, n, rounds))
+			res.Rows = append(res.Rows, runE2Harris(q, n, rounds))
+			res.Rows = append(res.Rows, runE2Noflag(q, n, rounds))
+		}
+	}
+	return res
+}
+
+// runE2FR runs the schedule against the Fomitchev-Ruppert list.
+func runE2FR(q, n, rounds int) E2Row {
+	l := core.NewList[int, int]()
+	for k := 0; k < n; k++ {
+		l.Insert(nil, k, k)
+	}
+	ctl := adversary.NewController()
+	hooks := ctl.HooksFor()
+	inserters := q - 1
+	pids := make([]int, inserters)
+	procs := make([]*core.Proc, inserters)
+	for i := range pids {
+		pids[i] = i + 1
+		procs[i] = &core.Proc{ID: pids[i], Stats: &core.OpStats{}, Hooks: hooks}
+		ctl.PauseAt(pids[i], instrument.PtBeforeInsertCAS)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Insert(procs[i], n+i, 0) // one operation per inserter
+		}(i)
+	}
+	for r := 0; r < rounds; r++ {
+		ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+		if _, ok := l.Delete(nil, n-1-r); !ok {
+			panic("E2: deletion of the last node failed")
+		}
+		ctl.ReleaseAll(pids)
+	}
+	ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+	ctl.ClearAllPauses()
+	ctl.ReleaseAll(pids)
+	wg.Wait()
+	return E2Row{Impl: "fomitchev-ruppert", Q: q, N: n, Rounds: rounds,
+		InserterSteps: summarizeSteps(procs)}
+}
+
+// runE2Harris runs the identical schedule against Harris's list.
+func runE2Harris(q, n, rounds int) E2Row {
+	l := harris.NewList[int, int]()
+	for k := 0; k < n; k++ {
+		l.Insert(nil, k, k)
+	}
+	ctl := adversary.NewController()
+	hooks := ctl.HooksFor()
+	inserters := q - 1
+	pids := make([]int, inserters)
+	procs := make([]*instrument.Proc, inserters)
+	for i := range pids {
+		pids[i] = i + 1
+		procs[i] = &instrument.Proc{ID: pids[i], Stats: &instrument.OpStats{}, Hooks: hooks}
+		ctl.PauseAt(pids[i], instrument.PtBeforeInsertCAS)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Insert(procs[i], n+i, 0)
+		}(i)
+	}
+	for r := 0; r < rounds; r++ {
+		ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+		if _, ok := l.Delete(nil, n-1-r); !ok {
+			panic("E2: deletion of the last node failed")
+		}
+		ctl.ReleaseAll(pids)
+	}
+	ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+	ctl.ClearAllPauses()
+	ctl.ReleaseAll(pids)
+	wg.Wait()
+	return E2Row{Impl: "harris", Q: q, N: n, Rounds: rounds,
+		InserterSteps: summarizeSteps(procs)}
+}
+
+// runE2Noflag runs the identical schedule against the no-flag ablation.
+// Backlinks alone already defeat this schedule (each recovery is O(1)),
+// which localizes the flag bits' contribution to the chain-growth
+// pathology measured by E7.
+func runE2Noflag(q, n, rounds int) E2Row {
+	l := noflag.NewList[int, int]()
+	for k := 0; k < n; k++ {
+		l.Insert(nil, k, k)
+	}
+	ctl := adversary.NewController()
+	hooks := ctl.HooksFor()
+	inserters := q - 1
+	pids := make([]int, inserters)
+	procs := make([]*instrument.Proc, inserters)
+	for i := range pids {
+		pids[i] = i + 1
+		procs[i] = &instrument.Proc{ID: pids[i], Stats: &instrument.OpStats{}, Hooks: hooks}
+		ctl.PauseAt(pids[i], instrument.PtBeforeInsertCAS)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Insert(procs[i], n+i, 0)
+		}(i)
+	}
+	for r := 0; r < rounds; r++ {
+		ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+		if _, ok := l.Delete(nil, n-1-r); !ok {
+			panic("E2: deletion of the last node failed")
+		}
+		ctl.ReleaseAll(pids)
+	}
+	ctl.AwaitAllParked(pids, instrument.PtBeforeInsertCAS)
+	ctl.ClearAllPauses()
+	ctl.ReleaseAll(pids)
+	wg.Wait()
+	return E2Row{Impl: "no-flag ablation", Q: q, N: n, Rounds: rounds,
+		InserterSteps: summarizeSteps(procs)}
+}
+
+func summarizeSteps(procs []*instrument.Proc) stats.Summary {
+	xs := make([]float64, len(procs))
+	for i, p := range procs {
+		xs[i] = float64(p.Stats.EssentialSteps())
+	}
+	return stats.Summarize(xs)
+}
+
+// Render prints per-configuration rows and the FR/Harris ratio.
+func (r E2Result) Render() string {
+	t := Table{
+		Title: "E2: Section 3.1 adversarial execution (inserter cost per operation)",
+		Columns: []string{"impl", "q", "n", "rounds", "mean steps/insert",
+			"max steps/insert"},
+	}
+	type key struct{ q, n int }
+	frMean := map[key]float64{}
+	for _, row := range r.Rows {
+		t.AddRow(row.Impl, d(row.Q), d(row.N), d(row.Rounds),
+			f(row.InserterSteps.Mean), f(row.InserterSteps.Max))
+		if row.Impl == "fomitchev-ruppert" {
+			frMean[key{row.Q, row.N}] = row.InserterSteps.Mean
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Impl == "harris" {
+			if fr := frMean[key{row.Q, row.N}]; fr > 0 {
+				t.Notes = append(t.Notes, fmt2(
+					"q=%d n=%d: harris/FR step ratio = %.1fx (paper predicts Theta(n) growth of the ratio)",
+					row.Q, row.N, row.InserterSteps.Mean/fr))
+			}
+		}
+	}
+	return t.Render()
+}

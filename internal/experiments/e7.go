@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/noflag"
+)
+
+// E7 is the flag-bit ablation motivated by Section 3.1: flag bits exist so
+// that a backlink is never set to point at a marked node, which keeps
+// chains of backlinks from growing towards the right and being traversed
+// repeatedly.
+//
+// The experiment builds the pathological chain deterministically. Keys
+// X_1 < X_2 < ... < X_k are deleted in ascending order, but each deleter
+// D_j is suspended just after its search - while its recorded predecessor
+// is still X_{j-1} - and resumed only after X_{j-1} has been marked.
+// Without flags, D_j then stores X_j.backlink = X_{j-1}, a marked node:
+// the chain X_k -> X_{k-1} -> ... -> X_1 grows rightward, and a victim
+// insertion that fails at X_k walks all k links. With flags, D_j cannot
+// flag the marked X_{j-1}; it re-searches, flags the live predecessor, and
+// sets X_j.backlink to it, so the victim walks exactly one link no matter
+// how large k is.
+type E7Result struct {
+	Rows []E7Row
+}
+
+// E7Row reports the victim's recovery cost for one chain length.
+type E7Row struct {
+	Impl            string
+	K               int    // deletions woven into the chain
+	VictimWalk      uint64 // backlink traversals by the victim insertion
+	VictimSteps     uint64 // victim's total essential steps
+	InsertRecovered bool   // the victim insertion completed successfully
+}
+
+// E7Config parameterizes the experiment.
+type E7Config struct {
+	Ks []int
+}
+
+// DefaultE7Config returns the configuration used by the harness.
+func DefaultE7Config() E7Config {
+	return E7Config{Ks: []int{8, 32, 128, 512}}
+}
+
+// RunE7 builds the chain at every length for both implementations.
+func RunE7(cfg E7Config) E7Result {
+	var res E7Result
+	for _, k := range cfg.Ks {
+		res.Rows = append(res.Rows, runE7Noflag(k), runE7FR(k))
+	}
+	return res
+}
+
+// Key layout: X_j = 10*j for j = 1..k, an anchor at 10*k+20, and the
+// victim inserting 10*k+5 (so its predecessor is X_k).
+func e7Keys(k int) (xs []int, anchor, victimKey int) {
+	xs = make([]int, k)
+	for j := 1; j <= k; j++ {
+		xs[j-1] = 10 * j
+	}
+	return xs, 10*k + 20, 10*k + 5
+}
+
+func runE7Noflag(k int) E7Row {
+	l := noflag.NewList[int, int]()
+	xs, anchor, victimKey := e7Keys(k)
+	for _, x := range xs {
+		l.Insert(nil, x, x)
+	}
+	l.Insert(nil, anchor, anchor)
+
+	ctl := adversary.NewController()
+	hooks := ctl.HooksFor()
+
+	// Victim: parks with predecessor X_k right before its insertion C&S.
+	const victimPid = 1_000_000
+	victimStats := &instrument.OpStats{}
+	victim := &instrument.Proc{ID: victimPid, Stats: victimStats, Hooks: hooks}
+	ctl.PauseAt(victimPid, instrument.PtBeforeInsertCAS)
+	victimDone := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(victim, victimKey, victimKey)
+		victimDone <- ok
+	}()
+	ctl.AwaitParked(victimPid, instrument.PtBeforeInsertCAS)
+
+	// Deleters for X_2..X_k park right after their search, holding the
+	// still-live X_{j-1} as predecessor.
+	done := make([]chan struct{}, k+1)
+	for j := 2; j <= k; j++ {
+		pid := j
+		ctl.PauseAt(pid, instrument.PtSearchDone)
+		done[j] = make(chan struct{})
+		go func(j int) {
+			p := &instrument.Proc{ID: j, Hooks: hooks}
+			l.Delete(p, xs[j-1])
+			close(done[j])
+		}(j)
+		ctl.AwaitParked(pid, instrument.PtSearchDone)
+	}
+	// Delete X_1 outright, then resume D_2..D_k in order; each stores a
+	// backlink to the just-marked previous key.
+	l.Delete(nil, xs[0])
+	for j := 2; j <= k; j++ {
+		ctl.ClearPause(j, instrument.PtSearchDone)
+		ctl.Release(j)
+		<-done[j]
+	}
+	// Resume the victim: its C&S fails at the marked X_k and recovery
+	// walks the backlink chain.
+	ctl.ClearPause(victimPid, instrument.PtBeforeInsertCAS)
+	ctl.Release(victimPid)
+	ok := <-victimDone
+	return E7Row{Impl: "no-flag ablation", K: k,
+		VictimWalk:  victimStats.BacklinkTraversals,
+		VictimSteps: victimStats.EssentialSteps(), InsertRecovered: ok}
+}
+
+func runE7FR(k int) E7Row {
+	l := core.NewList[int, int]()
+	xs, anchor, victimKey := e7Keys(k)
+	for _, x := range xs {
+		l.Insert(nil, x, x)
+	}
+	l.Insert(nil, anchor, anchor)
+
+	ctl := adversary.NewController()
+	hooks := ctl.HooksFor()
+
+	const victimPid = 1_000_000
+	victimStats := &core.OpStats{}
+	victim := &core.Proc{ID: victimPid, Stats: victimStats, Hooks: hooks}
+	ctl.PauseAt(victimPid, instrument.PtBeforeInsertCAS)
+	victimDone := make(chan bool, 1)
+	go func() {
+		_, ok := l.Insert(victim, victimKey, victimKey)
+		victimDone <- ok
+	}()
+	ctl.AwaitParked(victimPid, instrument.PtBeforeInsertCAS)
+
+	done := make([]chan struct{}, k+1)
+	var wg sync.WaitGroup
+	for j := 2; j <= k; j++ {
+		pid := j
+		ctl.PauseAt(pid, instrument.PtSearchDone)
+		done[j] = make(chan struct{})
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			p := &core.Proc{ID: j, Hooks: hooks}
+			l.Delete(p, xs[j-1])
+			close(done[j])
+		}(j)
+		ctl.AwaitParked(pid, instrument.PtSearchDone)
+	}
+	l.Delete(nil, xs[0])
+	for j := 2; j <= k; j++ {
+		ctl.ClearPause(j, instrument.PtSearchDone)
+		ctl.Release(j)
+		<-done[j]
+	}
+	wg.Wait()
+	ctl.ClearPause(victimPid, instrument.PtBeforeInsertCAS)
+	ctl.Release(victimPid)
+	ok := <-victimDone
+	return E7Row{Impl: "fomitchev-ruppert", K: k,
+		VictimWalk:  victimStats.BacklinkTraversals,
+		VictimSteps: victimStats.EssentialSteps(), InsertRecovered: ok}
+}
+
+// Render prints the ablation table.
+func (r E7Result) Render() string {
+	t := Table{
+		Title: "E7: backlink-chain growth, flag bits vs no-flag ablation",
+		Columns: []string{"impl", "k (woven deletions)", "victim backlink walk",
+			"victim total steps", "insert recovered"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Impl, d(row.K), fmt2("%d", row.VictimWalk),
+			fmt2("%d", row.VictimSteps), fmt2("%t", row.InsertRecovered))
+	}
+	t.Notes = append(t.Notes,
+		"without flags the victim walks the whole chain (Theta(k));",
+		"flags force each backlink to target an unmarked node, so the walk is O(1)")
+	return t.Render()
+}

@@ -1,0 +1,76 @@
+// Package experiments implements the paper's evaluation as runnable
+// experiments E1-E7 (see DESIGN.md for the full index). Each experiment
+// returns a typed result with a Render method that prints the rows the
+// harness reports; cmd/lflbench and the repository's bench_test.go drive
+// the same code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-column text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f formats a float compactly.
+func f(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// fmt2 is fmt.Sprintf, named to avoid colliding with the f helper.
+func fmt2(format string, args ...any) string { return fmt.Sprintf(format, args...) }

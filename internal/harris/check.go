@@ -1,0 +1,87 @@
+package harris
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// checkChain validates that the list from head reaches tail with strictly
+// increasing keys and no marked nodes, in a quiescent state.
+func checkChain[K cmp.Ordered, V any](head, tail *Node[K, V]) error {
+	prev := head
+	seen := 0
+	for {
+		s := prev.loadSucc()
+		if s.marked {
+			return fmt.Errorf("quiescence violated: reachable node %d is marked", seen)
+		}
+		next := s.right
+		if next == nil {
+			if prev != tail {
+				return fmt.Errorf("nil right pointer before tail (node %d)", seen)
+			}
+			return nil
+		}
+		if next.kind == kindHead || prev.kind == kindTail {
+			return fmt.Errorf("sentinel misplaced at node %d", seen)
+		}
+		if prev.kind == kindInterior && next.kind == kindInterior && cmp.Compare(prev.key, next.key) >= 0 {
+			return fmt.Errorf("keys not strictly increasing at node %d", seen)
+		}
+		prev = next
+		seen++
+		if seen > 1<<30 {
+			return fmt.Errorf("list does not terminate (cycle?)")
+		}
+	}
+}
+
+// CheckStructure validates the baseline skip list in a quiescent state:
+// every level is sorted, unmarked, and a superset of the level above.
+func (l *SkipList[K, V]) CheckStructure() error {
+	var below map[K]bool
+	for lv := l.maxLevel - 1; lv >= 0; lv-- {
+		keys := make(map[K]bool)
+		prev := l.head
+		seen := 0
+		var prevKey K
+		havePrev := false
+		for {
+			s := prev.succs[lv].Load()
+			if s.marked {
+				return fmt.Errorf("level %d: reachable marked node in quiescent state", lv+1)
+			}
+			next := s.right
+			if next == nil {
+				if prev != l.tail {
+					return fmt.Errorf("level %d: nil right pointer before tail", lv+1)
+				}
+				break
+			}
+			if next.kind == kindInterior {
+				if havePrev && cmp.Compare(prevKey, next.key) >= 0 {
+					return fmt.Errorf("level %d: keys not strictly increasing", lv+1)
+				}
+				prevKey, havePrev = next.key, true
+				if next.level <= lv {
+					return fmt.Errorf("level %d: node with height %d linked here", lv+1, next.level)
+				}
+				keys[next.key] = true
+			}
+			prev = next
+			seen++
+			if seen > 1<<30 {
+				return fmt.Errorf("level %d: cycle", lv+1)
+			}
+		}
+		if below != nil {
+			for k := range below {
+				if !keys[k] {
+					return fmt.Errorf("level %d: key %v on level %d missing below", lv+1, k, lv+2)
+				}
+			}
+		}
+		below = keys
+	}
+	return nil
+}

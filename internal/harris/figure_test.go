@@ -1,0 +1,114 @@
+package harris
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+// gate pauses one process at one point (in-package to avoid an import
+// cycle with internal/adversary).
+type gate struct {
+	point   instrument.Point
+	arrived chan struct{}
+	release chan struct{}
+	used    bool
+}
+
+func newGate(p instrument.Point) *gate {
+	return &gate{point: p, arrived: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gate) At(p instrument.Point, _ int) {
+	if g.used || p != g.point {
+		return
+	}
+	g.used = true
+	close(g.arrived)
+	<-g.release
+}
+
+// TestF1HarrisTwoStepDeletion replays Figure 1: Harris's deletion of node
+// B first marks B's successor field (logical deletion) and then swings the
+// predecessor's pointer past it (physical deletion). The test freezes the
+// deleter between the two C&S's and asserts both intermediate states.
+func TestF1HarrisTwoStepDeletion(t *testing.T) {
+	l := NewList[int, string]()
+	l.Insert(nil, 1, "A")
+	l.Insert(nil, 2, "B")
+	l.Insert(nil, 3, "C")
+	a := l.Search(nil, 1)
+	b := l.Search(nil, 2)
+	c := l.Search(nil, 3)
+
+	g := newGate(instrument.PtBeforePhysicalCAS)
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Delete(&instrument.Proc{ID: 1, Hooks: g}, 2)
+		res <- ok
+	}()
+	<-g.arrived
+
+	// Step 1 done: B logically deleted, still physically linked.
+	bSucc := b.loadSucc()
+	if !bSucc.marked || bSucc.right != c {
+		t.Fatalf("after step 1: B.succ = (%v,%t), want marked (C,1)", bSucc.right, bSucc.marked)
+	}
+	aSucc := a.loadSucc()
+	if aSucc.marked || aSucc.right != b {
+		t.Fatalf("after step 1: A.succ = (%v,%t), want (B,0)", aSucc.right, aSucc.marked)
+	}
+	// A marked node is invisible to searches even before it is unlinked.
+	if n := l.Search(nil, 2); n != nil {
+		t.Fatal("marked node still visible to Search")
+	}
+
+	close(g.release)
+	if !<-res {
+		t.Fatal("deletion reported failure")
+	}
+	// Step 2 done: B physically deleted.
+	aSucc = a.loadSucc()
+	if aSucc.marked || aSucc.right != c {
+		t.Fatalf("after step 2: A.succ = (%v,%t), want (C,0)", aSucc.right, aSucc.marked)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestF1MarkedSuccessorFrozen checks Harris's core invariant: once a
+// node's successor field is marked it never changes, so an insertion after
+// a marked node must fail and restart.
+func TestF1MarkedSuccessorFrozen(t *testing.T) {
+	l := NewList[int, int]()
+	l.Insert(nil, 1, 1)
+	l.Insert(nil, 3, 3)
+	b := l.Search(nil, 3)
+
+	g := newGate(instrument.PtBeforePhysicalCAS)
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := l.Delete(&instrument.Proc{ID: 1, Hooks: g}, 3)
+		res <- ok
+	}()
+	<-g.arrived
+
+	frozen := b.loadSucc()
+	// An insert of a larger key would have had b as its predecessor; it
+	// must succeed by inserting after the list skips the marked node.
+	if _, ok := l.Insert(nil, 5, 5); !ok {
+		t.Fatal("insert blocked by a marked node")
+	}
+	if got := b.loadSucc(); got != frozen {
+		t.Fatal("marked successor field changed")
+	}
+	close(g.release)
+	<-res
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Get(nil, 5); !ok {
+		t.Fatal("key 5 lost")
+	}
+}

@@ -1,0 +1,268 @@
+// Package harris implements T. Harris's lock-free linked list ("A
+// Pragmatic Implementation of Non-Blocking Linked-Lists", DISC 2001) and a
+// Fraser-style lock-free skip list built from the same technique. They are
+// the baselines the paper compares against in Sections 2 and 3.1.
+//
+// Harris's deletion is two-step - mark the victim's successor field, then
+// physically unlink it - and an operation that fails a C&S because of a
+// concurrent change restarts its search from the head of the list. The
+// paper's Section 3.1 shows an execution where this restart policy forces
+// average cost Omega(n-bar * c-bar); experiment E2 reproduces it.
+//
+// The composite (pointer, mark) successor word uses the same immutable
+// record representation as internal/core, so step counts are directly
+// comparable.
+package harris
+
+import (
+	"cmp"
+	"sync/atomic"
+
+	"repro/internal/instrument"
+)
+
+type nodeKind int8
+
+const (
+	kindInterior nodeKind = iota
+	kindHead
+	kindTail
+)
+
+// succ is Harris's composite successor field: (right, mark).
+type succ[K cmp.Ordered, V any] struct {
+	right  *Node[K, V]
+	marked bool
+}
+
+// Node is one cell of the Harris list.
+type Node[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	kind nodeKind
+	succ atomic.Pointer[succ[K, V]]
+}
+
+// Key returns the node's key.
+func (n *Node[K, V]) Key() K { return n.key }
+
+// Value returns the node's value.
+func (n *Node[K, V]) Value() V { return n.val }
+
+func (n *Node[K, V]) loadSucc() *succ[K, V] { return n.succ.Load() }
+
+func (n *Node[K, V]) marked() bool {
+	s := n.succ.Load()
+	return s != nil && s.marked
+}
+
+// compareKey orders n against k with sentinels as -inf/+inf.
+func (n *Node[K, V]) compareKey(k K) int {
+	switch n.kind {
+	case kindHead:
+		return -1
+	case kindTail:
+		return 1
+	default:
+		return cmp.Compare(n.key, k)
+	}
+}
+
+// List is Harris's lock-free sorted linked list.
+type List[K cmp.Ordered, V any] struct {
+	head *Node[K, V]
+	tail *Node[K, V]
+	size atomic.Int64
+}
+
+// NewList returns an empty Harris list.
+func NewList[K cmp.Ordered, V any]() *List[K, V] {
+	l := &List[K, V]{
+		head: &Node[K, V]{kind: kindHead},
+		tail: &Node[K, V]{kind: kindTail},
+	}
+	l.head.succ.Store(&succ[K, V]{right: l.tail})
+	l.tail.succ.Store(&succ[K, V]{right: nil})
+	return l
+}
+
+// Len returns the number of keys in the list (exact when quiescent).
+func (l *List[K, V]) Len() int { return int(l.size.Load()) }
+
+// search returns adjacent nodes (left, right) with left.key < k <=
+// right.key, right unmarked at some point during the call. It unlinks any
+// marked nodes between them, restarting from the head when a C&S fails -
+// Harris's search_again loop.
+func (l *List[K, V]) search(p *instrument.Proc, k K) (*Node[K, V], *Node[K, V]) {
+	st := p.StatsOrNil()
+	for {
+		var left *Node[K, V]
+		var leftSucc *succ[K, V]
+		t := l.head
+		tSucc := t.loadSucc()
+		// Phase 1: find left and right.
+		for {
+			if !tSucc.marked {
+				left = t
+				leftSucc = tSucc
+			}
+			t = tSucc.right
+			st.IncCurr()
+			if t.kind == kindTail {
+				break
+			}
+			tSucc = t.loadSucc()
+			st.IncNext()
+			if !(tSucc.marked || t.compareKey(k) < 0) {
+				break
+			}
+		}
+		right := t
+		// Phase 2: check nodes are adjacent.
+		if leftSucc.right == right {
+			if right.kind != kindTail && right.marked() {
+				st.IncRestart()
+				p.At(instrument.PtRestart)
+				continue // restart from the head
+			}
+			p.At(instrument.PtSearchDone)
+			return left, right
+		}
+		// Phase 3: remove the marked nodes between left and right.
+		p.At(instrument.PtBeforePhysicalCAS)
+		ok := left.succ.CompareAndSwap(leftSucc, &succ[K, V]{right: right})
+		st.IncCAS(ok)
+		if ok {
+			if right.kind != kindTail && right.marked() {
+				st.IncRestart()
+				p.At(instrument.PtRestart)
+				continue
+			}
+			p.At(instrument.PtSearchDone)
+			return left, right
+		}
+		st.IncRestart()
+		p.At(instrument.PtRestart)
+	}
+}
+
+// Search looks up k and returns its node, or nil if absent.
+func (l *List[K, V]) Search(p *instrument.Proc, k K) *Node[K, V] {
+	_, right := l.search(p, k)
+	if right.compareKey(k) == 0 {
+		return right
+	}
+	return nil
+}
+
+// Get looks up k and returns its value.
+func (l *List[K, V]) Get(p *instrument.Proc, k K) (V, bool) {
+	if n := l.Search(p, k); n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds k with value v; false if k is already present. On C&S
+// failure the operation re-runs search from the head - the behaviour the
+// FR list's backlinks are designed to avoid.
+func (l *List[K, V]) Insert(p *instrument.Proc, k K, v V) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	newNode := &Node[K, V]{key: k, val: v}
+	for {
+		left, right := l.search(p, k)
+		if right.compareKey(k) == 0 {
+			return right, false // duplicate key
+		}
+		leftSucc := left.loadSucc()
+		if leftSucc.right != right || leftSucc.marked {
+			st.IncRestart()
+			p.At(instrument.PtRestart)
+			continue
+		}
+		newNode.succ.Store(&succ[K, V]{right: right})
+		p.At(instrument.PtBeforeInsertCAS)
+		ok := left.succ.CompareAndSwap(leftSucc, &succ[K, V]{right: newNode})
+		st.IncCAS(ok)
+		if ok {
+			l.size.Add(1)
+			return newNode, true
+		}
+		st.IncRestart()
+		p.At(instrument.PtRestart)
+	}
+}
+
+// Delete removes k using Harris's two-step deletion: mark the victim's
+// successor field, then unlink it with a C&S on the predecessor (falling
+// back to a pruning search if that C&S fails).
+func (l *List[K, V]) Delete(p *instrument.Proc, k K) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	var left, right *Node[K, V]
+	var rightSucc *succ[K, V]
+	for {
+		left, right = l.search(p, k)
+		if right.compareKey(k) != 0 {
+			return nil, false // no such key
+		}
+		rightSucc = right.loadSucc()
+		if !rightSucc.marked {
+			p.At(instrument.PtBeforeMarkCAS)
+			ok := right.succ.CompareAndSwap(rightSucc,
+				&succ[K, V]{right: rightSucc.right, marked: true})
+			st.IncCAS(ok)
+			if ok {
+				break // logically deleted
+			}
+		}
+		st.IncRestart()
+		p.At(instrument.PtRestart)
+	}
+	l.size.Add(-1)
+	// Physical deletion: one direct attempt on the predecessor the search
+	// returned, else let a pruning search splice the node out.
+	leftSucc := left.loadSucc()
+	unlinked := false
+	if leftSucc.right == right && !leftSucc.marked {
+		p.At(instrument.PtBeforePhysicalCAS)
+		unlinked = left.succ.CompareAndSwap(leftSucc, &succ[K, V]{right: rightSucc.right})
+		st.IncCAS(unlinked)
+	}
+	if !unlinked {
+		l.search(p, k)
+	}
+	return right, true
+}
+
+// AscendPhysical walks the physical chain - including logically deleted
+// (marked) nodes still linked - reporting each interior node's key and
+// mark bit. Diagnostic, used by cmd/lflfigures.
+func (l *List[K, V]) AscendPhysical(fn func(k K, marked bool) bool) {
+	n := l.head.loadSucc().right
+	for n.kind != kindTail {
+		if !fn(n.key, n.marked()) {
+			return
+		}
+		n = n.loadSucc().right
+	}
+}
+
+// Ascend iterates keys in ascending order, skipping marked nodes.
+func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+	n := l.head.loadSucc().right
+	for n.kind != kindTail {
+		if !n.marked() {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+		n = n.loadSucc().right
+	}
+}
+
+// CheckInvariants validates sortedness and termination in a quiescent
+// state, mirroring core.List.CheckInvariants.
+func (l *List[K, V]) CheckInvariants() error {
+	return checkChain(l.head, l.tail)
+}

@@ -1,0 +1,210 @@
+package hashmap
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := New[string, int](16, StringHash)
+	if m.Contains("a") {
+		t.Fatal("empty map contains a key")
+	}
+	if !m.Insert("a", 1) || m.Insert("a", 2) {
+		t.Fatal("insert/duplicate wrong")
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get = %d, %t", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Delete("a") || m.Delete("a") {
+		t.Fatal("delete/double-delete wrong")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapBucketRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {9, 16}, {1024, 1024},
+	} {
+		m := New[int, int](tc.in, IntHash)
+		if got := m.Buckets(); got != tc.want {
+			t.Fatalf("Buckets(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestHashMapManyKeysSpread(t *testing.T) {
+	m := New[int, int](64, IntHash)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !m.Insert(i, i*2) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d, %t", i, v, ok)
+		}
+	}
+	// The hash should spread keys: no bucket may hold more than 8x the
+	// average.
+	maxLen := 0
+	for _, b := range m.buckets {
+		maxLen = max(maxLen, b.Len())
+	}
+	if avg := n / m.Buckets(); maxLen > 8*avg {
+		t.Fatalf("worst bucket %d vs average %d: hash not spreading", maxLen, avg)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapRange(t *testing.T) {
+	m := New[int, int](8, IntHash)
+	want := map[int]int{}
+	for i := 0; i < 100; i++ {
+		m.Insert(i, i)
+		want[i] = i
+	}
+	got := map[int]int{}
+	m.Range(func(k, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d keys, want %d", len(got), len(want))
+	}
+	// Early stop.
+	count := 0
+	m.Range(func(_, _ int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestHashMapConcurrent(t *testing.T) {
+	m := New[int, int](32, IntHash)
+	const workers, ops, keyRange = 8, 3000, 256
+	var insWins, delWins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 21))
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					if m.Insert(k, k) {
+						insWins.Add(1)
+					}
+				case 1:
+					if m.Delete(k) {
+						delWins.Add(1)
+					}
+				default:
+					m.Contains(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if net := int(insWins.Load() - delWins.Load()); net != m.Len() {
+		t.Fatalf("Len = %d, insWins-delWins = %d", m.Len(), net)
+	}
+}
+
+func TestHashMapMatchesModelQuick(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Key uint8
+	}
+	f := func(steps []step) bool {
+		m := New[int, int](4, IntHash) // tiny table: long buckets
+		model := map[int]bool{}
+		for _, s := range steps {
+			k := int(s.Key)
+			switch s.Op % 3 {
+			case 0:
+				if m.Insert(k, k) == model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if m.Delete(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if m.Contains(k) != model[k] {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(model) && m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashersDisperse(t *testing.T) {
+	// Adjacent integers and similar strings must land in many buckets.
+	intBuckets := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		intBuckets[IntHash(i)&63] = true
+	}
+	if len(intBuckets) < 48 {
+		t.Fatalf("IntHash used only %d/64 buckets", len(intBuckets))
+	}
+	strBuckets := map[uint64]bool{}
+	for _, s := range []string{"a", "b", "ab", "ba", "aa", "", "abc", "abd", "xyz", "xyy"} {
+		strBuckets[StringHash(s)] = true
+	}
+	if len(strBuckets) != 10 {
+		t.Fatalf("StringHash collided on trivial inputs: %d distinct", len(strBuckets))
+	}
+}
+
+func BenchmarkHashMapMixedParallel(b *testing.B) {
+	m := New[int, int](1024, IntHash)
+	const keyRange = 1 << 16
+	for k := 0; k < keyRange; k += 2 {
+		m.Insert(k, k)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(uint64(seed.Add(1)), 5))
+		for pb.Next() {
+			k := int(rng.Uint64N(keyRange))
+			switch rng.Uint64N(10) {
+			case 0:
+				m.Insert(k, k)
+			case 1:
+				m.Delete(k)
+			default:
+				m.Contains(k)
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package history records concurrent dictionary histories and checks them
+// for linearizability (Herlihy & Wing 1990), the correctness condition the
+// paper proves for its implementations (Section 3.3).
+//
+// The checker exploits locality: Insert, Delete and Search each touch a
+// single key, and a dictionary is the product of independent per-key
+// presence bits, so a history is linearizable iff each key's sub-history
+// is (Herlihy-Wing locality). Per-key sub-histories are further split at
+// quiescent cuts - instants where every earlier operation has returned
+// before any later one is invoked - which is sound because the presence
+// bit's end state after a valid segment is determined by the parity of its
+// successful updates. Each segment is then checked by Wing-Gong search
+// with memoization over (linearized-set, state).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind is a recorded operation type.
+type Kind int8
+
+// Operation kinds.
+const (
+	KindSearch Kind = iota + 1
+	KindInsert
+	KindDelete
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSearch:
+		return "search"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one completed operation: its kind, key, boolean result (present /
+// succeeded), and its invocation/response timestamps drawn from a global
+// atomic clock.
+type Op struct {
+	Kind   Kind
+	Key    int
+	Result bool
+	Start  int64
+	End    int64
+	Proc   int
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("p%d %s(%d)=%t [%d,%d]", o.Proc, o.Kind, o.Key, o.Result, o.Start, o.End)
+}
+
+// Recorder collects operations from concurrent workers. Each worker must
+// use its own Thread; the Recorder itself only hands out timestamps.
+type Recorder struct {
+	clock   atomic.Int64
+	threads []*Thread
+}
+
+// NewRecorder returns a recorder for the given number of worker threads,
+// each expecting at most opsPerThread operations.
+func NewRecorder(threads, opsPerThread int) *Recorder {
+	r := &Recorder{threads: make([]*Thread, threads)}
+	for i := range r.threads {
+		r.threads[i] = &Thread{rec: r, proc: i, ops: make([]Op, 0, opsPerThread)}
+	}
+	return r
+}
+
+// Thread returns worker i's private recording handle.
+func (r *Recorder) Thread(i int) *Thread { return r.threads[i] }
+
+// Ops merges all threads' operations. Call only after every worker has
+// finished.
+func (r *Recorder) Ops() []Op {
+	var all []Op
+	for _, t := range r.threads {
+		all = append(all, t.ops...)
+	}
+	return all
+}
+
+// Thread records one worker's operations without synchronization beyond
+// the shared clock.
+type Thread struct {
+	rec  *Recorder
+	proc int
+	ops  []Op
+}
+
+// Begin timestamps an invocation and returns the pending op.
+func (t *Thread) Begin(kind Kind, key int) Op {
+	return Op{Kind: kind, Key: key, Proc: t.proc, Start: t.rec.clock.Add(1)}
+}
+
+// End timestamps the response and records the completed op.
+func (t *Thread) End(op Op, result bool) {
+	op.Result = result
+	op.End = t.rec.clock.Add(1)
+	t.ops = append(t.ops, op)
+}
+
+// ErrTooDense is returned when a per-key segment exceeds the checker's
+// 63-operation limit; rerun with fewer operations or more keys.
+type ErrTooDense struct {
+	Key  int
+	Size int
+}
+
+func (e *ErrTooDense) Error() string {
+	return fmt.Sprintf("key %d has a concurrent segment of %d operations; checker limit is 63", e.Key, e.Size)
+}
+
+// Violation describes a non-linearizable sub-history.
+type Violation struct {
+	Key     int
+	Segment []Op
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("history not linearizable for key %d (%d-op segment)", v.Key, len(v.Segment))
+}
+
+// Check verifies that ops form a linearizable dictionary history starting
+// from the empty dictionary. It returns nil if linearizable, a *Violation
+// if not, and a *ErrTooDense if a segment is too large to check.
+func Check(ops []Op) error {
+	byKey := make(map[int][]Op)
+	for _, o := range ops {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if err := checkKey(k, byKey[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkKey checks one key's sub-history against the presence-bit object.
+func checkKey(key int, ops []Op) error {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	state := false
+	// Split into segments at quiescent cuts.
+	segStart := 0
+	maxEnd := int64(-1)
+	for i, o := range ops {
+		if i > segStart && o.Start > maxEnd {
+			var ok bool
+			state, ok = checkSegment(ops[segStart:i], state)
+			if !ok {
+				return &Violation{Key: key, Segment: ops[segStart:i]}
+			}
+			segStart = i
+		}
+		if o.End > maxEnd {
+			maxEnd = o.End
+		}
+		if i-segStart >= 63 {
+			return &ErrTooDense{Key: key, Size: i - segStart + 1}
+		}
+	}
+	if segStart < len(ops) {
+		if _, ok := checkSegment(ops[segStart:], state); !ok {
+			return &Violation{Key: key, Segment: ops[segStart:]}
+		}
+	}
+	return nil
+}
+
+// memoKey identifies a search node: the set of already-linearized ops plus
+// the presence state.
+type memoKey struct {
+	mask  uint64
+	state bool
+}
+
+// checkSegment runs Wing-Gong search over one segment. It returns the
+// final state (determined by the parity of successful updates) and whether
+// a valid linearization exists.
+func checkSegment(ops []Op, initial bool) (bool, bool) {
+	final := initial
+	for _, o := range ops {
+		if (o.Kind == KindInsert || o.Kind == KindDelete) && o.Result {
+			final = !final
+		}
+	}
+	n := len(ops)
+	full := uint64(1)<<n - 1
+	seen := make(map[memoKey]bool)
+	var dfs func(mask uint64, state bool) bool
+	dfs = func(mask uint64, state bool) bool {
+		if mask == full {
+			return true
+		}
+		mk := memoKey{mask, state}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// minEnd over un-linearized ops: an op is a legal next choice
+		// only if no un-linearized op responded before it was invoked.
+		minEnd := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			o := ops[i]
+			if o.Start > minEnd {
+				continue // real-time order forbids linearizing o yet
+			}
+			next, ok := apply(o, state)
+			if !ok {
+				continue
+			}
+			if dfs(mask|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return final, dfs(0, initial)
+}
+
+// apply checks o against the presence-bit spec in the given state and
+// returns the next state.
+func apply(o Op, present bool) (bool, bool) {
+	switch o.Kind {
+	case KindSearch:
+		return present, o.Result == present
+	case KindInsert:
+		if o.Result != !present {
+			return present, false
+		}
+		return true, true
+	case KindDelete:
+		if o.Result != present {
+			return present, false
+		}
+		return false, true
+	default:
+		return present, false
+	}
+}

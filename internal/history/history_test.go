@@ -1,0 +1,253 @@
+package history
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func op(kind Kind, key int, result bool, start, end int64) Op {
+	return Op{Kind: kind, Key: key, Result: result, Start: start, End: end}
+}
+
+func TestCheckSequentialValid(t *testing.T) {
+	ops := []Op{
+		op(KindSearch, 1, false, 1, 2),
+		op(KindInsert, 1, true, 3, 4),
+		op(KindSearch, 1, true, 5, 6),
+		op(KindInsert, 1, false, 7, 8),
+		op(KindDelete, 1, true, 9, 10),
+		op(KindDelete, 1, false, 11, 12),
+		op(KindSearch, 1, false, 13, 14),
+	}
+	if err := Check(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSequentialInvalid(t *testing.T) {
+	cases := map[string][]Op{
+		"search finds absent key": {
+			op(KindSearch, 1, true, 1, 2),
+		},
+		"double successful insert": {
+			op(KindInsert, 1, true, 1, 2),
+			op(KindInsert, 1, true, 3, 4),
+		},
+		"delete of absent key succeeds": {
+			op(KindDelete, 1, true, 1, 2),
+		},
+		"search misses present key": {
+			op(KindInsert, 1, true, 1, 2),
+			op(KindSearch, 1, false, 3, 4),
+		},
+		"failed insert on empty": {
+			op(KindInsert, 1, false, 1, 2),
+		},
+	}
+	for name, ops := range cases {
+		if err := Check(ops); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if _, isViolation := err.(*Violation); !isViolation {
+			t.Errorf("%s: wrong error type %T", name, err)
+		}
+	}
+}
+
+func TestCheckConcurrentReordering(t *testing.T) {
+	// Overlapping insert and search: the search may run either before or
+	// after the insert's linearization point, so both results are valid.
+	for _, searchResult := range []bool{true, false} {
+		ops := []Op{
+			op(KindInsert, 5, true, 1, 10),
+			op(KindSearch, 5, searchResult, 2, 9),
+		}
+		if err := Check(ops); err != nil {
+			t.Fatalf("searchResult=%t: %v", searchResult, err)
+		}
+	}
+	// But a search that begins after the insert returned must see it.
+	ops := []Op{
+		op(KindInsert, 5, true, 1, 2),
+		op(KindSearch, 5, false, 3, 4),
+	}
+	if err := Check(ops); err == nil {
+		t.Fatal("stale read across a real-time edge accepted")
+	}
+}
+
+func TestCheckConcurrentDeleteRace(t *testing.T) {
+	// Two overlapping deletes of the same present key: exactly one may
+	// succeed.
+	base := []Op{op(KindInsert, 7, true, 1, 2)}
+	oneWin := append(base,
+		op(KindDelete, 7, true, 3, 8),
+		op(KindDelete, 7, false, 4, 7),
+	)
+	if err := Check(oneWin); err != nil {
+		t.Fatal(err)
+	}
+	bothWin := append(base,
+		op(KindDelete, 7, true, 3, 8),
+		op(KindDelete, 7, true, 4, 7),
+	)
+	if err := Check(bothWin); err == nil {
+		t.Fatal("two successful deletes of one key accepted")
+	}
+	bothLose := append(base,
+		op(KindDelete, 7, false, 3, 8),
+		op(KindDelete, 7, false, 4, 7),
+	)
+	if err := Check(bothLose); err == nil {
+		t.Fatal("present key deleted by nobody accepted")
+	}
+}
+
+func TestCheckKeysIndependent(t *testing.T) {
+	ops := []Op{
+		op(KindInsert, 1, true, 1, 2),
+		op(KindInsert, 2, true, 1, 2), // same timestamps, different key: fine
+		op(KindSearch, 1, true, 3, 4),
+		op(KindSearch, 2, true, 3, 4),
+		op(KindSearch, 3, false, 3, 4),
+	}
+	if err := Check(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTooDense(t *testing.T) {
+	var ops []Op
+	for i := 0; i < 70; i++ {
+		// All 70 ops on one key overlap: [1, 1000].
+		ops = append(ops, op(KindSearch, 1, false, 1, 1000))
+	}
+	err := Check(ops)
+	if _, ok := err.(*ErrTooDense); !ok {
+		t.Fatalf("err = %v, want ErrTooDense", err)
+	}
+}
+
+func TestCheckSegmentationCarriesState(t *testing.T) {
+	// Segment 1 leaves the key present; segment 2's search must see it.
+	ops := []Op{
+		op(KindInsert, 1, true, 1, 2),
+		// quiescent cut
+		op(KindSearch, 1, false, 10, 11), // wrong: key is present
+	}
+	if err := Check(ops); err == nil {
+		t.Fatal("state not carried across segments")
+	}
+	ops[1].Result = true
+	if err := Check(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderWithCoreList runs a real concurrent workload against the
+// core list and checks the recorded history end to end.
+func TestRecorderWithCoreList(t *testing.T) {
+	l := core.NewList[int, int]()
+	const workers, ops, keyRange = 8, 400, 16
+	rec := NewRecorder(workers, ops)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rec.Thread(w)
+			rng := rand.New(rand.NewPCG(uint64(w), 77))
+			p := &core.Proc{ID: w}
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					o := th.Begin(KindInsert, k)
+					_, ok := l.Insert(p, k, k)
+					th.End(o, ok)
+				case 1:
+					o := th.Begin(KindDelete, k)
+					_, ok := l.Delete(p, k)
+					th.End(o, ok)
+				default:
+					o := th.Begin(KindSearch, k)
+					ok := l.Search(p, k) != nil
+					th.End(o, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := Check(rec.Ops()); err != nil {
+		t.Fatalf("core list produced a non-linearizable history: %v", err)
+	}
+}
+
+// TestCheckerCatchesBrokenDictionary runs the same workload against a
+// deliberately racy map (no synchronization of result computation) and
+// expects the checker to reject at least one of many histories - a smoke
+// test that the checker has teeth. The broken structure races on a plain
+// mutex-free map guarded only per-operation, producing stale results.
+func TestCheckerCatchesBrokenDictionary(t *testing.T) {
+	caught := false
+	for round := 0; round < 20 && !caught; round++ {
+		var mu sync.Mutex
+		m := map[int]bool{}
+		const workers, ops, keyRange = 8, 300, 4
+		rec := NewRecorder(workers, ops)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := rec.Thread(w)
+				rng := rand.New(rand.NewPCG(uint64(w), uint64(round)))
+				for i := 0; i < ops; i++ {
+					k := int(rng.Uint64N(keyRange))
+					switch rng.Uint64N(3) {
+					case 0:
+						o := th.Begin(KindInsert, k)
+						// Broken: check-then-act with the lock released
+						// in between, so two inserts can both "succeed".
+						mu.Lock()
+						present := m[k]
+						mu.Unlock()
+						runtime.Gosched()
+						mu.Lock()
+						m[k] = true
+						mu.Unlock()
+						th.End(o, !present)
+					case 1:
+						o := th.Begin(KindDelete, k)
+						mu.Lock()
+						present := m[k]
+						mu.Unlock()
+						runtime.Gosched()
+						mu.Lock()
+						delete(m, k)
+						mu.Unlock()
+						th.End(o, present)
+					default:
+						o := th.Begin(KindSearch, k)
+						mu.Lock()
+						present := m[k]
+						mu.Unlock()
+						th.End(o, present)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := Check(rec.Ops()); err != nil {
+			if _, dense := err.(*ErrTooDense); !dense {
+				caught = true
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("checker accepted every history from a racy dictionary")
+	}
+}

@@ -1,0 +1,118 @@
+package history
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harris"
+	"repro/internal/noflag"
+	"repro/internal/sundell"
+	"repro/internal/valois"
+)
+
+// runHistoryStress drives a concurrent workload through op callbacks and
+// checks the recorded history for linearizability.
+func runHistoryStress(t *testing.T, name string,
+	insert func(k int) bool, remove func(k int) bool, search func(k int) bool) {
+	t.Helper()
+	const workers, ops, keyRange = 8, 350, 16
+	rec := NewRecorder(workers, ops)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rec.Thread(w)
+			rng := rand.New(rand.NewPCG(uint64(w), 123))
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					o := th.Begin(KindInsert, k)
+					th.End(o, insert(k))
+				case 1:
+					o := th.Begin(KindDelete, k)
+					th.End(o, remove(k))
+				default:
+					o := th.Begin(KindSearch, k)
+					th.End(o, search(k))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := Check(rec.Ops()); err != nil {
+		if _, dense := err.(*ErrTooDense); dense {
+			t.Skipf("%s: history too dense to check: %v", name, err)
+		}
+		t.Fatalf("%s produced a non-linearizable history: %v", name, err)
+	}
+}
+
+func TestSkipListLinearizable(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		l := core.NewSkipList[int, int]()
+		runHistoryStress(t, "core.SkipList",
+			func(k int) bool { _, ok := l.Insert(nil, k, k); return ok },
+			func(k int) bool { _, ok := l.Delete(nil, k); return ok },
+			func(k int) bool { return l.Search(nil, k) != nil },
+		)
+	}
+}
+
+func TestHarrisListLinearizable(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		l := harris.NewList[int, int]()
+		runHistoryStress(t, "harris.List",
+			func(k int) bool { _, ok := l.Insert(nil, k, k); return ok },
+			func(k int) bool { _, ok := l.Delete(nil, k); return ok },
+			func(k int) bool { return l.Search(nil, k) != nil },
+		)
+	}
+}
+
+func TestHarrisSkipListLinearizable(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		l := harris.NewSkipList[int, int](0, nil)
+		runHistoryStress(t, "harris.SkipList",
+			func(k int) bool { return l.Insert(nil, k, k) },
+			func(k int) bool { return l.Delete(nil, k) },
+			func(k int) bool { return l.Contains(nil, k) },
+		)
+	}
+}
+
+func TestValoisListLinearizable(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		l := valois.NewList[int, int]()
+		runHistoryStress(t, "valois.List",
+			func(k int) bool { return l.Insert(nil, k, k) },
+			func(k int) bool { return l.Delete(nil, k) },
+			func(k int) bool { return l.Contains(nil, k) },
+		)
+	}
+}
+
+func TestNoflagListLinearizable(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		l := noflag.NewList[int, int]()
+		runHistoryStress(t, "noflag.List",
+			func(k int) bool { _, ok := l.Insert(nil, k, k); return ok },
+			func(k int) bool { _, ok := l.Delete(nil, k); return ok },
+			func(k int) bool { return l.Search(nil, k) != nil },
+		)
+	}
+}
+
+func TestSundellSkipListLinearizable(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		l := sundell.New[int, int](0, nil)
+		runHistoryStress(t, "sundell.SkipList",
+			func(k int) bool { return l.Insert(nil, k, k) },
+			func(k int) bool { return l.Delete(nil, k) },
+			func(k int) bool { return l.Contains(nil, k) },
+		)
+	}
+}

@@ -1,0 +1,226 @@
+// Package instrument provides the per-process instrumentation shared by
+// every list and skip-list implementation in this repository: essential
+// step counters for the paper's amortized-cost accounting (Section 3.4)
+// and named synchronization points for realizing adversarial schedules
+// (Section 3.1).
+package instrument
+
+// OpStats accumulates the paper's "essential steps". Section 3.4 argues
+// that counting exactly these gives the running time up to a constant
+// factor:
+//
+//   - C&S attempts (successful or not),
+//   - backlink pointer traversals,
+//   - next_node pointer updates inside searches, and
+//   - curr_node pointer updates inside searches.
+//
+// Baseline implementations without backlinks (Harris, Valois) count their
+// analogous recovery steps - search restarts and auxiliary-cell
+// traversals - in Restarts and AuxTraversals so total work is comparable.
+type OpStats struct {
+	CASAttempts        uint64 // every C&S attempted, any type
+	CASSuccesses       uint64 // C&S that changed shared state
+	BacklinkTraversals uint64 // prev = prev.backlink steps (FR lists)
+	NextUpdates        uint64 // next_node reassignments inside searches
+	CurrUpdates        uint64 // curr_node advances inside searches
+	HelpCalls          uint64 // helping-routine invocations (diagnostic)
+	Restarts           uint64 // restart-from-head events (Harris-style)
+	AuxTraversals      uint64 // auxiliary-cell steps (Valois-style)
+}
+
+// EssentialSteps returns the total billed step count: the quantity the
+// paper's amortized analysis bounds by O(n(S) + c(S)) for the FR list, and
+// the comparable total for the baselines.
+func (s *OpStats) EssentialSteps() uint64 {
+	return s.CASAttempts + s.BacklinkTraversals + s.NextUpdates +
+		s.CurrUpdates + s.AuxTraversals
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o *OpStats) {
+	s.CASAttempts += o.CASAttempts
+	s.CASSuccesses += o.CASSuccesses
+	s.BacklinkTraversals += o.BacklinkTraversals
+	s.NextUpdates += o.NextUpdates
+	s.CurrUpdates += o.CurrUpdates
+	s.HelpCalls += o.HelpCalls
+	s.Restarts += o.Restarts
+	s.AuxTraversals += o.AuxTraversals
+}
+
+// Reset zeroes every counter.
+func (s *OpStats) Reset() { *s = OpStats{} }
+
+// The Inc* helpers tolerate a nil receiver so instrumented code paths cost
+// a single predictable branch when metrics are disabled.
+
+// IncCAS records one C&S attempt and, if success, one success.
+func (s *OpStats) IncCAS(success bool) {
+	if s == nil {
+		return
+	}
+	s.CASAttempts++
+	if success {
+		s.CASSuccesses++
+	}
+}
+
+// IncBacklink records one backlink traversal.
+func (s *OpStats) IncBacklink() {
+	if s != nil {
+		s.BacklinkTraversals++
+	}
+}
+
+// IncNext records one next_node pointer update.
+func (s *OpStats) IncNext() {
+	if s != nil {
+		s.NextUpdates++
+	}
+}
+
+// IncCurr records one curr_node pointer update.
+func (s *OpStats) IncCurr() {
+	if s != nil {
+		s.CurrUpdates++
+	}
+}
+
+// IncHelp records one helping-routine invocation.
+func (s *OpStats) IncHelp() {
+	if s != nil {
+		s.HelpCalls++
+	}
+}
+
+// IncRestart records one restart-from-head event.
+func (s *OpStats) IncRestart() {
+	if s != nil {
+		s.Restarts++
+	}
+}
+
+// IncAux records one auxiliary-cell traversal.
+func (s *OpStats) IncAux() {
+	if s != nil {
+		s.AuxTraversals++
+	}
+}
+
+// Point names a synchronization point inside the algorithms. The
+// adversarial executions of Section 3.1 require stopping a process at an
+// exact program point; hooks at these points make those schedules
+// reproducible on a real Go runtime.
+type Point int
+
+// Synchronization points covering every C&S site plus the recovery paths.
+const (
+	// PtSearchDone fires when a search has located its (curr, next) pair
+	// and is about to return.
+	PtSearchDone Point = iota + 1
+	// PtBeforeInsertCAS fires immediately before the insertion C&S.
+	PtBeforeInsertCAS
+	// PtAfterInsertCASFail fires after a failed insertion C&S.
+	PtAfterInsertCASFail
+	// PtBeforeFlagCAS fires immediately before the flagging C&S.
+	PtBeforeFlagCAS
+	// PtBeforeMarkCAS fires immediately before the marking C&S.
+	PtBeforeMarkCAS
+	// PtBeforePhysicalCAS fires immediately before the physical-deletion
+	// C&S.
+	PtBeforePhysicalCAS
+	// PtBacklinkStep fires on every backlink traversal.
+	PtBacklinkStep
+	// PtHelpFlagged fires on entry to a HelpFlagged routine.
+	PtHelpFlagged
+	// PtRestart fires when an operation restarts its search from the
+	// head (Harris-style recovery).
+	PtRestart
+	// PtAfterUnlink fires after a successful unlink C&S, before any
+	// cleanup/normalization (Valois-style deletion).
+	PtAfterUnlink
+)
+
+// String returns the point's name for diagnostics.
+func (p Point) String() string {
+	switch p {
+	case PtSearchDone:
+		return "SearchDone"
+	case PtBeforeInsertCAS:
+		return "BeforeInsertCAS"
+	case PtAfterInsertCASFail:
+		return "AfterInsertCASFail"
+	case PtBeforeFlagCAS:
+		return "BeforeFlagCAS"
+	case PtBeforeMarkCAS:
+		return "BeforeMarkCAS"
+	case PtBeforePhysicalCAS:
+		return "BeforePhysicalCAS"
+	case PtBacklinkStep:
+		return "BacklinkStep"
+	case PtHelpFlagged:
+		return "HelpFlagged"
+	case PtRestart:
+		return "Restart"
+	case PtAfterUnlink:
+		return "AfterUnlink"
+	default:
+		return "UnknownPoint"
+	}
+}
+
+// Hooks receives control at named points during an operation run under a
+// Proc. Implementations typically block the calling goroutine to realize a
+// deterministic schedule. At must be safe for concurrent use.
+type Hooks interface {
+	At(p Point, pid int)
+}
+
+// HookFunc adapts a function to the Hooks interface.
+type HookFunc func(p Point, pid int)
+
+// At calls f(p, pid).
+func (f HookFunc) At(p Point, pid int) { f(p, pid) }
+
+// Proc carries per-process instrumentation through an operation: optional
+// step counters and optional adversary hooks. The paper's model is a fixed
+// set of processes; a Proc is this implementation's stand-in for one. A
+// nil *Proc is valid and disables all instrumentation.
+type Proc struct {
+	// Stats, when non-nil, accumulates essential-step counts for every
+	// operation run under this Proc.
+	Stats *OpStats
+	// Hooks, when non-nil, receives control at named synchronization
+	// points.
+	Hooks Hooks
+	// ID identifies the process to hooks; purely informational.
+	ID int
+	// Retire, when non-nil, is called with each node this process
+	// physically deletes - i.e. when its physical-deletion C&S is the one
+	// that succeeds, which happens exactly once per node. Memory
+	// reclamation schemes (internal/ebr) hang their retire step here.
+	Retire func(node any)
+}
+
+// StatsOrNil returns the Proc's counter set, tolerating a nil Proc.
+func (p *Proc) StatsOrNil() *OpStats {
+	if p == nil {
+		return nil
+	}
+	return p.Stats
+}
+
+// At forwards to the Proc's hooks, tolerating nil Proc and nil Hooks.
+func (p *Proc) At(pt Point) {
+	if p != nil && p.Hooks != nil {
+		p.Hooks.At(pt, p.ID)
+	}
+}
+
+// RetireNode forwards a physically deleted node to the Proc's Retire
+// callback, tolerating nil Proc and nil Retire.
+func (p *Proc) RetireNode(node any) {
+	if p != nil && p.Retire != nil {
+		p.Retire(node)
+	}
+}

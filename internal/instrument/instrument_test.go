@@ -1,0 +1,118 @@
+package instrument
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStatsNilReceiverSafe(t *testing.T) {
+	var s *OpStats
+	// Every Inc helper must be a no-op on a nil receiver.
+	s.IncCAS(true)
+	s.IncCAS(false)
+	s.IncBacklink()
+	s.IncNext()
+	s.IncCurr()
+	s.IncHelp()
+	s.IncRestart()
+	s.IncAux()
+}
+
+func TestOpStatsCounting(t *testing.T) {
+	s := &OpStats{}
+	s.IncCAS(true)
+	s.IncCAS(false)
+	s.IncCAS(false)
+	if s.CASAttempts != 3 || s.CASSuccesses != 1 {
+		t.Fatalf("CAS counters: %+v", s)
+	}
+	s.IncBacklink()
+	s.IncNext()
+	s.IncNext()
+	s.IncCurr()
+	s.IncAux()
+	if got := s.EssentialSteps(); got != 3+1+2+1+1 {
+		t.Fatalf("EssentialSteps = %d", got)
+	}
+	s.IncHelp()
+	s.IncRestart()
+	if got := s.EssentialSteps(); got != 8 {
+		t.Fatalf("help/restart must not be billed as essential: %d", got)
+	}
+}
+
+func TestOpStatsAddReset(t *testing.T) {
+	a := &OpStats{CASAttempts: 1, CASSuccesses: 1, BacklinkTraversals: 2,
+		NextUpdates: 3, CurrUpdates: 4, HelpCalls: 5, Restarts: 6, AuxTraversals: 7}
+	var sum OpStats
+	sum.Add(a)
+	sum.Add(a)
+	if sum.CASAttempts != 2 || sum.AuxTraversals != 14 || sum.Restarts != 12 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	sum.Reset()
+	if sum != (OpStats{}) {
+		t.Fatalf("Reset: %+v", sum)
+	}
+}
+
+func TestOpStatsAddIsLinearQuick(t *testing.T) {
+	f := func(a, b OpStats) bool {
+		var s1 OpStats
+		s1.Add(&a)
+		s1.Add(&b)
+		var s2 OpStats
+		s2.Add(&b)
+		s2.Add(&a)
+		return s1 == s2 && s1.EssentialSteps() == a.EssentialSteps()+b.EssentialSteps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointStrings(t *testing.T) {
+	points := []Point{PtSearchDone, PtBeforeInsertCAS, PtAfterInsertCASFail,
+		PtBeforeFlagCAS, PtBeforeMarkCAS, PtBeforePhysicalCAS, PtBacklinkStep,
+		PtHelpFlagged, PtRestart, PtAfterUnlink}
+	seen := map[string]bool{}
+	for _, p := range points {
+		s := p.String()
+		if s == "" || s == "UnknownPoint" {
+			t.Fatalf("point %d has no name", p)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate point name %q", s)
+		}
+		seen[s] = true
+	}
+	if Point(0).String() != "UnknownPoint" {
+		t.Fatal("zero point should be unknown")
+	}
+}
+
+func TestProcNilSafe(t *testing.T) {
+	var p *Proc
+	if p.StatsOrNil() != nil {
+		t.Fatal("nil proc returned stats")
+	}
+	p.At(PtSearchDone) // must not panic
+	p2 := &Proc{}
+	p2.At(PtSearchDone) // nil hooks must not panic
+}
+
+func TestHookFuncDispatch(t *testing.T) {
+	var mu sync.Mutex
+	got := map[Point]int{}
+	h := HookFunc(func(p Point, pid int) {
+		mu.Lock()
+		defer mu.Unlock()
+		got[p] = pid
+	})
+	p := &Proc{ID: 42, Hooks: h}
+	p.At(PtBeforeFlagCAS)
+	if got[PtBeforeFlagCAS] != 42 {
+		t.Fatalf("hook got %v", got)
+	}
+}

@@ -1,0 +1,279 @@
+// Package noflag implements the ablation variant of the paper's linked
+// list used by experiment E7: backlinks for recovery, but no flag bits.
+//
+// Deletion is two-step, as in Harris: set the victim's backlink (to the
+// best predecessor known, which may itself already be marked), mark the
+// victim, then physically unlink it. Because the predecessor is not
+// frozen by a flag before the backlink is set, the backlink can point to
+// a marked node - precisely the situation Section 3.1 identifies as
+// letting chains of backlinks grow towards the right, so that the same
+// process may traverse long chains many times. Comparing recovery-chain
+// lengths between this package and internal/core quantifies what the flag
+// bit buys.
+package noflag
+
+import (
+	"cmp"
+	"sync/atomic"
+
+	"repro/internal/instrument"
+)
+
+type nodeKind int8
+
+const (
+	kindInterior nodeKind = iota
+	kindHead
+	kindTail
+)
+
+// succ is the composite successor field: (right, mark). No flag bit.
+type succ[K cmp.Ordered, V any] struct {
+	right  *Node[K, V]
+	marked bool
+}
+
+// Node is one cell of the no-flag list.
+type Node[K cmp.Ordered, V any] struct {
+	key      K
+	val      V
+	kind     nodeKind
+	succ     atomic.Pointer[succ[K, V]]
+	backlink atomic.Pointer[Node[K, V]]
+}
+
+// Key returns the node's key.
+func (n *Node[K, V]) Key() K { return n.key }
+
+// Value returns the node's value.
+func (n *Node[K, V]) Value() V { return n.val }
+
+func (n *Node[K, V]) loadSucc() *succ[K, V] { return n.succ.Load() }
+
+func (n *Node[K, V]) marked() bool {
+	s := n.succ.Load()
+	return s != nil && s.marked
+}
+
+func (n *Node[K, V]) right() *Node[K, V] { return n.succ.Load().right }
+
+func (n *Node[K, V]) compareKey(k K) int {
+	switch n.kind {
+	case kindHead:
+		return -1
+	case kindTail:
+		return 1
+	default:
+		return cmp.Compare(n.key, k)
+	}
+}
+
+func (n *Node[K, V]) keyLeq(k K, strict bool) bool {
+	c := n.compareKey(k)
+	if strict {
+		return c < 0
+	}
+	return c <= 0
+}
+
+// List is the flag-free ablation of the Fomitchev-Ruppert list.
+type List[K cmp.Ordered, V any] struct {
+	head *Node[K, V]
+	tail *Node[K, V]
+	size atomic.Int64
+}
+
+// NewList returns an empty list.
+func NewList[K cmp.Ordered, V any]() *List[K, V] {
+	l := &List[K, V]{
+		head: &Node[K, V]{kind: kindHead},
+		tail: &Node[K, V]{kind: kindTail},
+	}
+	l.head.succ.Store(&succ[K, V]{right: l.tail})
+	l.tail.succ.Store(&succ[K, V]{right: nil})
+	return l
+}
+
+// Len returns the number of keys (exact when quiescent).
+func (l *List[K, V]) Len() int { return int(l.size.Load()) }
+
+// recover walks backlinks from n to the first unmarked node, counting each
+// traversal. Chains here may pass through nodes that were marked after the
+// backlink was set - the pathology E7 measures. It returns the unmarked
+// node and the number of links walked.
+func (l *List[K, V]) recover(p *instrument.Proc, n *Node[K, V]) (*Node[K, V], int) {
+	st := p.StatsOrNil()
+	walked := 0
+	for n.marked() {
+		st.IncBacklink()
+		p.At(instrument.PtBacklinkStep)
+		b := n.backlink.Load()
+		if b == nil {
+			// The node was marked before its deleter stored the
+			// backlink; fall back to the head (bounded by the race
+			// window, counted as a restart).
+			st.IncRestart()
+			return l.head, walked
+		}
+		n = b
+		walked++
+	}
+	return n, walked
+}
+
+// searchFrom finds (n1, n2) with n1.key <= k < n2.key (strict: < / <=),
+// physically unlinking marked nodes it passes.
+func (l *List[K, V]) searchFrom(p *instrument.Proc, k K, curr *Node[K, V], strict bool) (*Node[K, V], *Node[K, V]) {
+	st := p.StatsOrNil()
+	next := curr.right()
+	for next.keyLeq(k, strict) {
+		for {
+			nextSucc := next.loadSucc()
+			if !nextSucc.marked {
+				break
+			}
+			currSucc := curr.loadSucc()
+			if currSucc.marked {
+				// curr was marked under us: recover through backlinks.
+				curr, _ = l.recover(p, curr)
+				next = curr.right()
+				st.IncNext()
+				continue
+			}
+			if currSucc.right == next {
+				// Physically unlink the marked next node.
+				p.At(instrument.PtBeforePhysicalCAS)
+				ok := curr.succ.CompareAndSwap(currSucc, &succ[K, V]{right: nextSucc.right})
+				st.IncCAS(ok)
+			}
+			next = curr.right()
+			st.IncNext()
+		}
+		if next.keyLeq(k, strict) {
+			curr = next
+			st.IncCurr()
+			next = curr.right()
+			st.IncNext()
+		}
+	}
+	p.At(instrument.PtSearchDone)
+	return curr, next
+}
+
+// Search looks up k and returns its node, or nil.
+func (l *List[K, V]) Search(p *instrument.Proc, k K) *Node[K, V] {
+	curr, _ := l.searchFrom(p, k, l.head, false)
+	if curr.compareKey(k) == 0 && !curr.marked() {
+		return curr
+	}
+	return nil
+}
+
+// Get looks up k and returns its value.
+func (l *List[K, V]) Get(p *instrument.Proc, k K) (V, bool) {
+	if n := l.Search(p, k); n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds k with value v; recovery after a failed C&S walks backlinks
+// (never restarts from the head), exactly as in internal/core but without
+// the flag-help path.
+func (l *List[K, V]) Insert(p *instrument.Proc, k K, v V) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	prev, next := l.searchFrom(p, k, l.head, false)
+	if prev.compareKey(k) == 0 {
+		return prev, false
+	}
+	newNode := &Node[K, V]{key: k, val: v}
+	for {
+		prevSucc := prev.loadSucc()
+		if !prevSucc.marked && prevSucc.right == next {
+			newNode.succ.Store(&succ[K, V]{right: next})
+			p.At(instrument.PtBeforeInsertCAS)
+			ok := prev.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: newNode})
+			st.IncCAS(ok)
+			if ok {
+				l.size.Add(1)
+				return newNode, true
+			}
+			p.At(instrument.PtAfterInsertCASFail)
+		} else {
+			st.IncCAS(false)
+		}
+		if prev.marked() {
+			prev, _ = l.recover(p, prev)
+		}
+		prev, next = l.searchFrom(p, k, prev, false)
+		if prev.compareKey(k) == 0 {
+			return prev, false
+		}
+	}
+}
+
+// Delete removes k using two-step deletion with backlinks: store the
+// backlink (possibly to an already-marked node), mark, then unlink.
+func (l *List[K, V]) Delete(p *instrument.Proc, k K) (*Node[K, V], bool) {
+	st := p.StatsOrNil()
+	prev, delNode := l.searchFrom(p, k, l.head, true)
+	for {
+		if delNode.compareKey(k) != 0 {
+			return nil, false
+		}
+		s := delNode.loadSucc()
+		if s.marked {
+			return nil, false // a concurrent deletion won
+		}
+		// Store the backlink before marking, so every marked node has
+		// one; prev may already be marked - that is the ablation.
+		delNode.backlink.Store(prev)
+		p.At(instrument.PtBeforeMarkCAS)
+		ok := delNode.succ.CompareAndSwap(s, &succ[K, V]{right: s.right, marked: true})
+		st.IncCAS(ok)
+		if ok {
+			l.size.Add(-1)
+			break
+		}
+		// Marking failed: the successor changed or another deleter is in
+		// progress; refresh and retry.
+		if prev.marked() {
+			prev, _ = l.recover(p, prev)
+		}
+		prev, delNode = l.searchFrom(p, k, prev, true)
+	}
+	// Physical deletion: one direct attempt, else let searches prune.
+	prevSucc := prev.loadSucc()
+	if prevSucc.right == delNode && !prevSucc.marked {
+		p.At(instrument.PtBeforePhysicalCAS)
+		ok := prev.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: delNode.right()})
+		st.IncCAS(ok)
+		if !ok {
+			l.searchFrom(p, k, l.head, true)
+		}
+	} else {
+		l.searchFrom(p, k, l.head, true)
+	}
+	return delNode, true
+}
+
+// Ascend iterates keys in ascending order, skipping marked nodes.
+func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+	n := l.head.right()
+	for n.kind != kindTail {
+		if !n.marked() {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+		n = n.right()
+	}
+}
+
+// RecoverChainLen exposes recovery-walk lengths for E7: it walks backlinks
+// from n as an operation would and returns the chain length.
+func (l *List[K, V]) RecoverChainLen(n *Node[K, V]) int {
+	_, walked := l.recover(nil, n)
+	return walked
+}

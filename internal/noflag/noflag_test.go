@@ -1,0 +1,169 @@
+package noflag
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+func TestNoflagSequential(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 300; i++ {
+		if _, ok := l.Insert(nil, i, i); !ok {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if _, ok := l.Insert(nil, 7, 0); ok {
+		t.Fatal("duplicate insert succeeded")
+	}
+	for i := 0; i < 300; i += 2 {
+		if _, ok := l.Delete(nil, i); !ok {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if got := l.Len(); got != 150 {
+		t.Fatalf("Len = %d", got)
+	}
+	var got []int
+	l.Ascend(func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 150 || !sort.IntsAreSorted(got) {
+		t.Fatalf("traversal: %d sorted=%t", len(got), sort.IntsAreSorted(got))
+	}
+	for i := 0; i < 300; i++ {
+		_, ok := l.Get(nil, i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%t want %t", i, ok, want)
+		}
+	}
+}
+
+func TestNoflagConcurrentStress(t *testing.T) {
+	l := NewList[int, int]()
+	const workers, ops, keyRange = 8, 2500, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 13))
+			p := &instrument.Proc{ID: w}
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					l.Insert(p, k, k)
+				case 1:
+					l.Delete(p, k)
+				default:
+					l.Search(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	count := 0
+	l.Ascend(func(k, _ int) bool {
+		if seen[k] {
+			t.Errorf("duplicate key %d", k)
+		}
+		seen[k] = true
+		count++
+		return true
+	})
+	if got := l.Len(); got != count {
+		t.Fatalf("Len = %d, traversal = %d", got, count)
+	}
+}
+
+func TestNoflagAccounting(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		l := NewList[int, int]()
+		const workers, ops, keyRange = 8, 1500, 48
+		var insWins, delWins atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(w), uint64(round)+100))
+				for i := 0; i < ops; i++ {
+					k := int(rng.Uint64N(keyRange))
+					if rng.Uint64N(2) == 0 {
+						if _, ok := l.Insert(nil, k, k); ok {
+							insWins.Add(1)
+						}
+					} else {
+						if _, ok := l.Delete(nil, k); ok {
+							delWins.Add(1)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		count := 0
+		l.Ascend(func(_, _ int) bool { count++; return true })
+		net := int(insWins.Load() - delWins.Load())
+		if net != count || l.Len() != count {
+			t.Fatalf("round %d: Len=%d traversal=%d net=%d", round, l.Len(), count, net)
+		}
+	}
+}
+
+func TestNoflagDeleteContention(t *testing.T) {
+	const workers, keys = 8, 120
+	for round := 0; round < 5; round++ {
+		l := NewList[int, int]()
+		for k := 0; k < keys; k++ {
+			l.Insert(nil, k, k)
+		}
+		var wins [workers]int
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := &instrument.Proc{ID: w}
+				for k := 0; k < keys; k++ {
+					if _, ok := l.Delete(p, k); ok {
+						wins[w]++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for _, n := range wins {
+			total += n
+		}
+		if total != keys {
+			t.Fatalf("round %d: %d wins for %d keys", round, total, keys)
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("round %d: Len = %d", round, got)
+		}
+	}
+}
+
+func TestNoflagBacklinksRecorded(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 10; i++ {
+		l.Insert(nil, i, i)
+	}
+	n := l.Search(nil, 5)
+	if n == nil {
+		t.Fatal("missing node")
+	}
+	l.Delete(nil, 5)
+	if n.backlink.Load() == nil {
+		t.Fatal("deleted node has no backlink")
+	}
+	if got := l.RecoverChainLen(n); got != 1 {
+		t.Fatalf("recover chain length = %d, want 1", got)
+	}
+}

@@ -1,0 +1,48 @@
+package valois
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// checkChain validates the reachable chain in a quiescent state: it starts
+// at head, ends at tail, alternates normal cells with runs of one or more
+// auxiliary cells, and normal-cell keys strictly increase.
+func (l *List[K, V]) checkChain() error {
+	n := l.head
+	var prevKey K
+	haveKey := false
+	auxRun := 0
+	steps := 0
+	for {
+		next := n.next.Load()
+		switch n.kind {
+		case kindTail:
+			if next != nil {
+				return fmt.Errorf("tail has a successor")
+			}
+			return nil
+		case kindHead, kindNormal:
+			if next == nil || !next.isAux() {
+				return fmt.Errorf("normal cell not followed by an auxiliary cell")
+			}
+			if n.kind == kindNormal {
+				if haveKey && cmp.Compare(prevKey, n.key) >= 0 {
+					return fmt.Errorf("keys not strictly increasing")
+				}
+				prevKey, haveKey = n.key, true
+			}
+			auxRun = 0
+		case kindAux:
+			auxRun++
+			if next == nil {
+				return fmt.Errorf("auxiliary cell with nil next")
+			}
+		}
+		n = next
+		steps++
+		if steps > 1<<30 {
+			return fmt.Errorf("chain does not terminate (cycle?)")
+		}
+	}
+}

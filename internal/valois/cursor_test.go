@@ -1,0 +1,106 @@
+package valois
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+// TestCursorTraversalOrder drives the cursor API directly (first/next)
+// and checks it visits exactly the live cells in order.
+func TestCursorTraversalOrder(t *testing.T) {
+	l := NewList[int, int]()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		l.Insert(nil, k, k*10)
+	}
+	l.Delete(nil, 3)
+	var c cursor[int, int]
+	l.first(nil, &c)
+	want := []int{1, 5, 7, 9}
+	for i, k := range want {
+		if c.target.kind != kindNormal || c.target.key != k {
+			t.Fatalf("cursor step %d at key %v, want %d", i, c.target.key, k)
+		}
+		if c.preAux.next.Load() != c.target {
+			t.Fatalf("cursor invariant broken at %d: preAux.next != target", k)
+		}
+		l.next(nil, &c)
+	}
+	if c.target.kind != kindTail {
+		t.Fatal("cursor did not end at the tail")
+	}
+}
+
+// TestCursorOnEmptyList checks first() lands on the tail immediately.
+func TestCursorOnEmptyList(t *testing.T) {
+	l := NewList[int, int]()
+	var c cursor[int, int]
+	l.first(nil, &c)
+	if c.target.kind != kindTail {
+		t.Fatalf("cursor on empty list at %v", c.target.kind)
+	}
+	if l.next(nil, &c) {
+		t.Fatal("next past the tail succeeded")
+	}
+}
+
+// TestUpdateRecoversThroughBacklinks positions a cursor on a cell, deletes
+// that cell, and checks update() walks the backlink to a live predecessor.
+func TestUpdateRecoversThroughBacklinks(t *testing.T) {
+	l := NewList[int, int]()
+	for k := 0; k < 5; k++ {
+		l.Insert(nil, k, k)
+	}
+	var c cursor[int, int]
+	l.seek(nil, &c, 3) // preCell = cell(2), target = cell(3)
+	if c.target.key != 3 || c.preCell.key != 2 {
+		t.Fatalf("seek landed at (%v, %v)", c.preCell.key, c.target.key)
+	}
+	// Delete the cursor's preCell out from under it.
+	if !l.Delete(nil, 2) {
+		t.Fatal("delete failed")
+	}
+	st := &instrument.OpStats{}
+	p := &instrument.Proc{Stats: st}
+	l.update(p, &c)
+	if st.BacklinkTraversals == 0 {
+		t.Fatal("update did not walk the backlink of the deleted preCell")
+	}
+	if c.preCell.backlink.Load() != nil {
+		t.Fatal("update left the cursor on a deleted preCell")
+	}
+	if c.target.key != 3 {
+		t.Fatalf("cursor target drifted to %v", c.target.key)
+	}
+}
+
+// TestCompressionKeepsLastAux checks the safety-critical compression rule:
+// after compressing a chain, the cell whose next pointer is still mutable
+// (the last aux) remains on the reachable path.
+func TestCompressionKeepsLastAux(t *testing.T) {
+	l := NewList[int, int]()
+	for k := 0; k < 6; k++ {
+		l.Insert(nil, k, k)
+	}
+	// Delete 3 and 4 back-to-front so an aux chain forms between 2 and 5.
+	l.Delete(nil, 4)
+	l.Delete(nil, 3)
+	var c cursor[int, int]
+	l.seek(nil, &c, 5)
+	if c.target.key != 5 {
+		t.Fatalf("seek(5) at %v", c.target.key)
+	}
+	// The cursor's preAux must be directly linked to the target: an
+	// insert through it must succeed on the first try.
+	st := &instrument.OpStats{}
+	p := &instrument.Proc{Stats: st}
+	if !l.Insert(p, 4, 44) {
+		t.Fatal("insert after compression failed")
+	}
+	if v, ok := l.Get(nil, 4); !ok || v != 44 {
+		t.Fatalf("Get(4) = %d, %t", v, ok)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

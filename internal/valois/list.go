@@ -1,0 +1,306 @@
+// Package valois implements J. Valois's lock-free linked list ("Lock-Free
+// Linked Lists Using Compare-and-Swap", PODC 1995), the earliest of the
+// paper's comparison points (Section 2).
+//
+// Valois's design interleaves auxiliary cells between normal cells so that
+// deletions can unlink a cell with a single C&S without disturbing
+// concurrent traversals; traversals compress chains of adjacent auxiliary
+// cells as they pass. Deleted cells receive a backlink to a predecessor
+// cell for recovery. The paper notes that the average cost per operation
+// of this design can reach Omega(m_E) - proportional to the total number
+// of operations in the execution - even when the list stays short and
+// contention is constant, because auxiliary-cell chains grow with the
+// number of deletions until some traversal pays to compress them;
+// experiment E3 reproduces that behaviour by counting auxiliary-cell
+// traversals.
+//
+// Safety of the compression used here rests on two facts: (1) an
+// auxiliary cell's next pointer becomes frozen forever once it points to
+// another auxiliary cell (insertions and deletions C&S it only while it
+// points to a normal cell), so every interior edge of a walked chain is
+// immutable; and (2) compression always keeps the last auxiliary cell of
+// the chain - the only one whose next pointer can still change - so no
+// concurrent insertion or deletion anchored at it can be lost.
+package valois
+
+import (
+	"cmp"
+	"sync/atomic"
+
+	"repro/internal/instrument"
+)
+
+type cellKind int8
+
+const (
+	kindNormal cellKind = iota
+	kindAux
+	kindHead
+	kindTail
+)
+
+// cell is either a normal cell (carrying a key) or an auxiliary cell.
+type cell[K cmp.Ordered, V any] struct {
+	key      K
+	val      V
+	kind     cellKind
+	next     atomic.Pointer[cell[K, V]]
+	backlink atomic.Pointer[cell[K, V]] // set on deleted normal cells
+}
+
+func (c *cell[K, V]) isAux() bool { return c.kind == kindAux }
+
+// compareKey orders the cell against k with sentinels at +-inf. Only
+// normal cells and sentinels are compared.
+func (c *cell[K, V]) compareKey(k K) int {
+	switch c.kind {
+	case kindHead:
+		return -1
+	case kindTail:
+		return 1
+	default:
+		return cmp.Compare(c.key, k)
+	}
+}
+
+// cursor is Valois's traversal state: the target cell plus the auxiliary
+// and normal cells preceding it. Every mutation goes through a cursor.
+type cursor[K cmp.Ordered, V any] struct {
+	preCell *cell[K, V] // last normal cell before target
+	preAux  *cell[K, V] // last auxiliary cell before target (preAux.next == target)
+	target  *cell[K, V] // normal cell (or tail) under the cursor
+}
+
+// List is Valois's lock-free sorted linked list. The structure alternates
+// normal and auxiliary cells: head, aux, c1, aux, c2, ..., aux, tail.
+type List[K cmp.Ordered, V any] struct {
+	head *cell[K, V]
+	tail *cell[K, V]
+	size atomic.Int64
+}
+
+// NewList returns an empty Valois list.
+func NewList[K cmp.Ordered, V any]() *List[K, V] {
+	l := &List[K, V]{
+		head: &cell[K, V]{kind: kindHead},
+		tail: &cell[K, V]{kind: kindTail},
+	}
+	aux := &cell[K, V]{kind: kindAux}
+	aux.next.Store(l.tail)
+	l.head.next.Store(aux)
+	return l
+}
+
+// Len returns the number of keys (exact when quiescent).
+func (l *List[K, V]) Len() int { return int(l.size.Load()) }
+
+// update re-derives preAux and target from the cursor's preCell: recover
+// past deleted predecessors through backlinks, walk the chain of auxiliary
+// cells after preCell, and compress the chain down to its last cell. This
+// is Valois's Update/normalization step.
+func (l *List[K, V]) update(p *instrument.Proc, c *cursor[K, V]) {
+	st := p.StatsOrNil()
+	for {
+		// Recover to a live predecessor cell.
+		for {
+			b := c.preCell.backlink.Load()
+			if b == nil {
+				break
+			}
+			st.IncBacklink()
+			p.At(instrument.PtBacklinkStep)
+			c.preCell = b
+		}
+		firstAux := c.preCell.next.Load()
+		st.IncAux() // every hop between normal cells crosses >= 1 auxiliary cell
+		last := firstAux
+		n := last.next.Load()
+		for n.isAux() {
+			st.IncAux()
+			last = n
+			n = n.next.Load()
+		}
+		// n is a normal cell or the tail; last is the final auxiliary
+		// cell, the only one whose next pointer is still mutable.
+		if last != firstAux {
+			ok := c.preCell.next.CompareAndSwap(firstAux, last)
+			st.IncCAS(ok)
+			if !ok {
+				continue // preCell.next moved; re-derive
+			}
+		}
+		c.preAux = last
+		c.target = n
+		return
+	}
+}
+
+// first positions the cursor at the first normal cell of the list.
+func (l *List[K, V]) first(p *instrument.Proc, c *cursor[K, V]) {
+	c.preCell = l.head
+	l.update(p, c)
+}
+
+// next advances the cursor to the following normal cell. It returns false
+// at the tail.
+func (l *List[K, V]) next(p *instrument.Proc, c *cursor[K, V]) bool {
+	if c.target.kind == kindTail {
+		return false
+	}
+	c.preCell = c.target
+	l.update(p, c)
+	p.StatsOrNil().IncCurr()
+	return true
+}
+
+// tryInsert attempts to insert normal cell q (with its own auxiliary cell
+// a) before the cursor's target. Valois's TryInsert.
+func (l *List[K, V]) tryInsert(p *instrument.Proc, c *cursor[K, V], q, a *cell[K, V]) bool {
+	q.next.Store(a)
+	a.next.Store(c.target)
+	p.At(instrument.PtBeforeInsertCAS)
+	ok := c.preAux.next.CompareAndSwap(c.target, q)
+	p.StatsOrNil().IncCAS(ok)
+	return ok
+}
+
+// tryDelete attempts to delete the cursor's target: unlink the cell with
+// one C&S, leaving its auxiliary cell in the list, set the backlink, then
+// re-normalize the neighbourhood. Valois's TryDelete.
+func (l *List[K, V]) tryDelete(p *instrument.Proc, c *cursor[K, V]) bool {
+	st := p.StatsOrNil()
+	d := c.target
+	dAux := d.next.Load() // d's (first) auxiliary cell, which stays behind
+	p.At(instrument.PtBeforeMarkCAS)
+	ok := c.preAux.next.CompareAndSwap(d, dAux)
+	st.IncCAS(ok)
+	if !ok {
+		return false
+	}
+	d.backlink.Store(c.preCell)
+	p.At(instrument.PtAfterUnlink)
+	// Normalize: compress the auxiliary chain that now follows a live
+	// predecessor of d.
+	cc := cursor[K, V]{preCell: c.preCell}
+	l.update(p, &cc)
+	return true
+}
+
+// seek positions a cursor on the first normal cell whose key is >= k.
+func (l *List[K, V]) seek(p *instrument.Proc, c *cursor[K, V], k K) {
+	l.first(p, c)
+	for c.target.compareKey(k) < 0 {
+		if !l.next(p, c) {
+			return
+		}
+	}
+}
+
+// reseek refreshes the cursor in place after interference and moves it
+// forward to the first normal cell with key >= k. Unlike Harris's list,
+// recovery resumes from the cursor (through backlinks) rather than from
+// the head.
+func (l *List[K, V]) reseek(p *instrument.Proc, c *cursor[K, V], k K) {
+	l.update(p, c)
+	for c.target.compareKey(k) < 0 {
+		if !l.next(p, c) {
+			return
+		}
+	}
+}
+
+// Get looks up k; it returns the value and whether k is present.
+func (l *List[K, V]) Get(p *instrument.Proc, k K) (V, bool) {
+	var c cursor[K, V]
+	l.seek(p, &c, k)
+	if c.target.compareKey(k) == 0 {
+		return c.target.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (l *List[K, V]) Contains(p *instrument.Proc, k K) bool {
+	_, ok := l.Get(p, k)
+	return ok
+}
+
+// Insert adds k with value v; false if k is already present.
+func (l *List[K, V]) Insert(p *instrument.Proc, k K, v V) bool {
+	st := p.StatsOrNil()
+	q := &cell[K, V]{key: k, val: v}
+	a := &cell[K, V]{kind: kindAux}
+	var c cursor[K, V]
+	l.seek(p, &c, k)
+	for {
+		if c.target.compareKey(k) == 0 {
+			return false // duplicate key
+		}
+		if l.tryInsert(p, &c, q, a) {
+			l.size.Add(1)
+			return true
+		}
+		st.IncRestart()
+		l.reseek(p, &c, k)
+	}
+}
+
+// Delete removes k; false if absent.
+func (l *List[K, V]) Delete(p *instrument.Proc, k K) bool {
+	st := p.StatsOrNil()
+	var c cursor[K, V]
+	l.seek(p, &c, k)
+	for {
+		if c.target.compareKey(k) != 0 {
+			return false // no such key
+		}
+		if l.tryDelete(p, &c) {
+			l.size.Add(-1)
+			return true
+		}
+		st.IncRestart()
+		l.reseek(p, &c, k)
+	}
+}
+
+// Ascend iterates keys in ascending order.
+func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+	var c cursor[K, V]
+	l.first(nil, &c)
+	for c.target.kind != kindTail {
+		if !fn(c.target.key, c.target.val) {
+			return
+		}
+		if !l.next(nil, &c) {
+			return
+		}
+	}
+}
+
+// AuxChainStats walks the reachable list and returns the number of
+// auxiliary cells and the length of the longest run of adjacent auxiliary
+// cells - the quantity whose growth drives the Omega(m_E) behaviour.
+func (l *List[K, V]) AuxChainStats() (auxCells, longestChain int) {
+	n := l.head.next.Load()
+	run := 0
+	for n != nil {
+		if n.isAux() {
+			auxCells++
+			run++
+			longestChain = max(longestChain, run)
+		} else {
+			run = 0
+		}
+		n = n.next.Load()
+	}
+	return auxCells, longestChain
+}
+
+// CheckInvariants validates the alternating cell structure and strict key
+// order in a quiescent state: the path from head to tail passes through at
+// least one auxiliary cell between consecutive normal cells, and keys
+// strictly increase.
+func (l *List[K, V]) CheckInvariants() error {
+	return l.checkChain()
+}

@@ -1,0 +1,230 @@
+package valois
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+func TestValoisSequential(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 300; i++ {
+		if !l.Insert(nil, i, i*2) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if l.Insert(nil, 5, 0) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if got := l.Len(); got != 300 {
+		t.Fatalf("Len = %d", got)
+	}
+	for i := 0; i < 300; i++ {
+		v, ok := l.Get(nil, i)
+		if !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d, %t", i, v, ok)
+		}
+	}
+	for i := 0; i < 300; i += 2 {
+		if !l.Delete(nil, i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	l.Ascend(func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 150 || !sort.IntsAreSorted(got) {
+		t.Fatalf("traversal: %d keys, sorted=%t", len(got), sort.IntsAreSorted(got))
+	}
+}
+
+func TestValoisDeleteAbsent(t *testing.T) {
+	l := NewList[int, int]()
+	if l.Delete(nil, 3) {
+		t.Fatal("deleted from empty list")
+	}
+	l.Insert(nil, 1, 1)
+	if l.Delete(nil, 3) {
+		t.Fatal("deleted absent key")
+	}
+	if !l.Delete(nil, 1) || l.Delete(nil, 1) {
+		t.Fatal("delete/double-delete wrong")
+	}
+}
+
+func TestValoisAuxChainsAccumulate(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 100; i++ {
+		l.Insert(nil, i, i)
+	}
+	// Delete a contiguous block back-to-front without any traversal in
+	// between: each deletion leaves its auxiliary cell behind, and the
+	// normalization after each delete compresses only around the deleted
+	// cell's predecessor.
+	for i := 99; i >= 50; i-- {
+		l.Delete(nil, i)
+	}
+	aux, longest := l.AuxChainStats()
+	if aux < 51 {
+		t.Fatalf("aux cells = %d, want at least one per live cell", aux)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_ = longest
+	// A full traversal compresses chains back down.
+	count := 0
+	l.Ascend(func(_, _ int) bool { count++; return true })
+	if count != 50 {
+		t.Fatalf("traversal found %d keys", count)
+	}
+	_, longestAfter := l.AuxChainStats()
+	if longestAfter > 2 {
+		t.Fatalf("longest aux chain after full traversal = %d, want compressed", longestAfter)
+	}
+}
+
+func TestValoisConcurrentStress(t *testing.T) {
+	l := NewList[int, int]()
+	const workers, ops, keyRange = 8, 2500, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 3))
+			p := &instrument.Proc{ID: w}
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					l.Insert(p, k, k)
+				case 1:
+					l.Delete(p, k)
+				default:
+					l.Contains(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	count := 0
+	l.Ascend(func(k, _ int) bool {
+		if seen[k] {
+			t.Errorf("duplicate key %d", k)
+		}
+		seen[k] = true
+		count++
+		return true
+	})
+	if got := l.Len(); got != count {
+		t.Fatalf("Len = %d, traversal = %d", got, count)
+	}
+}
+
+func TestValoisAccounting(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		l := NewList[int, int]()
+		const workers, ops, keyRange = 8, 1500, 48
+		var insWins, delWins atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(w), uint64(round)))
+				for i := 0; i < ops; i++ {
+					k := int(rng.Uint64N(keyRange))
+					if rng.Uint64N(2) == 0 {
+						if l.Insert(nil, k, k) {
+							insWins.Add(1)
+						}
+					} else {
+						if l.Delete(nil, k) {
+							delWins.Add(1)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		count := 0
+		l.Ascend(func(_, _ int) bool { count++; return true })
+		net := int(insWins.Load() - delWins.Load())
+		if net != count || l.Len() != count {
+			t.Fatalf("round %d: Len=%d traversal=%d net=%d", round, l.Len(), count, net)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValoisDeleteContention(t *testing.T) {
+	const workers, keys = 8, 120
+	for round := 0; round < 5; round++ {
+		l := NewList[int, int]()
+		for k := 0; k < keys; k++ {
+			l.Insert(nil, k, k)
+		}
+		var wins [workers]int
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := &instrument.Proc{ID: w}
+				for k := 0; k < keys; k++ {
+					if l.Delete(p, k) {
+						wins[w]++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for _, n := range wins {
+			total += n
+		}
+		if total != keys {
+			t.Fatalf("round %d: %d wins for %d keys", round, total, keys)
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("round %d: Len = %d", round, got)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValoisAuxTraversalCounting(t *testing.T) {
+	l := NewList[int, int]()
+	for i := 0; i < 50; i++ {
+		l.Insert(nil, i, i)
+	}
+	st := &instrument.OpStats{}
+	p := &instrument.Proc{Stats: st}
+	// Deleting back-to-front leaves each victim's auxiliary cell behind;
+	// the normalization inside the next deletion walks (and compresses)
+	// the two-cell chain, which must be counted as auxiliary traversals.
+	for i := 49; i >= 10; i-- {
+		l.Delete(p, i)
+	}
+	if st.AuxTraversals == 0 {
+		t.Fatal("expected auxiliary-cell traversals to be counted")
+	}
+	if st.EssentialSteps() == 0 {
+		t.Fatal("essential steps not counted")
+	}
+}

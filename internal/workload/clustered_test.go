@@ -1,0 +1,74 @@
+package workload
+
+import "testing"
+
+// TestClusteredDrift checks the clustered distribution produces moving hot
+// windows: consecutive draws cluster tightly, while over many draws the
+// whole range is eventually covered.
+func TestClusteredDrift(t *testing.T) {
+	cfg := Config{Mix: Balanced, Dist: Clustered, Range: 4096, Seed: 5}
+	g := NewGenerator(cfg, 0)
+	window := max(cfg.Range/64, 1)
+
+	// Short-horizon locality: 64 consecutive keys span at most two windows.
+	var burst []int
+	for i := 0; i < 64; i++ {
+		burst = append(burst, g.Next().Key)
+	}
+	lo, hi := burst[0], burst[0]
+	for _, k := range burst {
+		lo, hi = min(lo, k), max(hi, k)
+	}
+	if hi-lo > 2*window {
+		t.Fatalf("burst spans %d keys, want clustered within ~%d", hi-lo, 2*window)
+	}
+
+	// Long-horizon coverage: the hot spot drifts across the range.
+	buckets := map[int]bool{}
+	for i := 0; i < 200_000; i++ {
+		buckets[g.Next().Key/window] = true
+	}
+	if len(buckets) < 32 {
+		t.Fatalf("clustered keys visited only %d windows of 64", len(buckets))
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g := NewGenerator(Config{Mix: Balanced, Dist: Sequential, Range: 10, Seed: 1}, 0)
+	seen := map[int]int{}
+	for i := 0; i < 100; i++ {
+		seen[g.Next().Key]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("sequential covered %d of 10 keys", len(seen))
+	}
+	for k, c := range seen {
+		if c != 10 {
+			t.Fatalf("key %d drawn %d times, want exactly 10", k, c)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpSearch.String() != "search" || OpInsert.String() != "insert" ||
+		OpDelete.String() != "delete" || OpKind(0).String() != "unknown" {
+		t.Fatal("OpKind strings wrong")
+	}
+	for _, d := range []KeyDist{Uniform, Zipf, Sequential, Clustered} {
+		if d.String() == "unknown" {
+			t.Fatalf("dist %d unnamed", d)
+		}
+	}
+	if KeyDist(0).String() != "unknown" {
+		t.Fatal("zero dist should be unknown")
+	}
+}
+
+func TestGeneratorRangeClamp(t *testing.T) {
+	g := NewGenerator(Config{Mix: Balanced, Dist: Uniform, Range: 0, Seed: 1}, 0)
+	for i := 0; i < 100; i++ {
+		if k := g.Next().Key; k != 0 {
+			t.Fatalf("zero-range generator produced key %d", k)
+		}
+	}
+}

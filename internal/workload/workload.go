@@ -1,0 +1,185 @@
+// Package workload generates the operation streams used by the benchmark
+// harness: key distributions, operation mixes, and deterministic
+// per-thread streams, in the style of the experimental methodology of
+// Harris (2001) and Michael (2002) that the paper cites.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// OpKind is a dictionary operation type.
+type OpKind int8
+
+// Operation kinds.
+const (
+	OpSearch OpKind = iota + 1
+	OpInsert
+	OpDelete
+)
+
+// String returns the kind's name.
+func (k OpKind) String() string {
+	switch k {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  int
+}
+
+// Mix is an operation mix given as percentages; the three fields must sum
+// to 100.
+type Mix struct {
+	SearchPct int
+	InsertPct int
+	DeletePct int
+}
+
+// Common mixes used by experiment E4, mirroring the read-heavy, balanced
+// and write-heavy workloads of the literature the paper cites.
+var (
+	ReadHeavy  = Mix{SearchPct: 90, InsertPct: 9, DeletePct: 1}
+	Balanced   = Mix{SearchPct: 34, InsertPct: 33, DeletePct: 33}
+	WriteHeavy = Mix{SearchPct: 20, InsertPct: 40, DeletePct: 40}
+)
+
+// Validate returns an error if the mix does not sum to 100 or has negative
+// components.
+func (m Mix) Validate() error {
+	if m.SearchPct < 0 || m.InsertPct < 0 || m.DeletePct < 0 {
+		return fmt.Errorf("negative mix component: %+v", m)
+	}
+	if m.SearchPct+m.InsertPct+m.DeletePct != 100 {
+		return fmt.Errorf("mix sums to %d, want 100", m.SearchPct+m.InsertPct+m.DeletePct)
+	}
+	return nil
+}
+
+// String formats the mix as "s/i/d".
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d", m.SearchPct, m.InsertPct, m.DeletePct)
+}
+
+// KeyDist names a key distribution.
+type KeyDist int8
+
+// Key distributions.
+const (
+	// Uniform draws keys uniformly from [0, Range).
+	Uniform KeyDist = iota + 1
+	// Zipf draws keys from a Zipf distribution (s=1.1) over [0, Range),
+	// concentrating traffic on a few hot keys.
+	Zipf
+	// Sequential draws monotonically increasing keys (mod Range); paired
+	// with deletions at the low end it produces the FIFO churn pattern of
+	// the paper's Section 3.1 example.
+	Sequential
+	// Clustered draws keys uniformly inside a small window that drifts
+	// across [0, Range), creating moving hot spots.
+	Clustered
+)
+
+// String returns the distribution's name.
+func (d KeyDist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Sequential:
+		return "sequential"
+	case Clustered:
+		return "clustered"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a workload.
+type Config struct {
+	Mix   Mix
+	Dist  KeyDist
+	Range int // keys are drawn from [0, Range)
+	Seed  uint64
+}
+
+// Generator produces a deterministic operation stream for one thread. It
+// is not safe for concurrent use; create one per thread with distinct
+// thread indexes.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  uint64
+}
+
+// NewGenerator returns a generator for thread; streams with the same
+// (Config, thread) are identical run to run.
+func NewGenerator(cfg Config, thread int) *Generator {
+	if cfg.Range <= 0 {
+		cfg.Range = 1
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(thread)*0x9e3779b97f4a7c15+1))
+	g := &Generator{cfg: cfg, rng: rng}
+	if cfg.Dist == Zipf {
+		g.zipf = rand.NewZipf(rng, 1.1, 1, uint64(cfg.Range-1))
+	}
+	return g
+}
+
+// Next returns the next operation in the stream.
+func (g *Generator) Next() Op {
+	return Op{Kind: g.nextKind(), Key: g.nextKey()}
+}
+
+func (g *Generator) nextKind() OpKind {
+	r := int(g.rng.Uint64N(100))
+	switch {
+	case r < g.cfg.Mix.SearchPct:
+		return OpSearch
+	case r < g.cfg.Mix.SearchPct+g.cfg.Mix.InsertPct:
+		return OpInsert
+	default:
+		return OpDelete
+	}
+}
+
+func (g *Generator) nextKey() int {
+	switch g.cfg.Dist {
+	case Zipf:
+		return int(g.zipf.Uint64())
+	case Sequential:
+		g.seq++
+		return int(g.seq % uint64(g.cfg.Range))
+	case Clustered:
+		window := max(g.cfg.Range/64, 1)
+		base := int(g.seq/128) * window % g.cfg.Range
+		g.seq++
+		return (base + int(g.rng.Uint64N(uint64(window)))) % g.cfg.Range
+	default: // Uniform
+		return int(g.rng.Uint64N(uint64(g.cfg.Range)))
+	}
+}
+
+// Prefill returns the keys to load before timing starts: every other key
+// in [0, Range), giving a half-full structure whose size stays roughly
+// stable under a balanced mix.
+func Prefill(keyRange int) []int {
+	keys := make([]int, 0, keyRange/2)
+	for k := 0; k < keyRange; k += 2 {
+		keys = append(keys, k)
+	}
+	return keys
+}

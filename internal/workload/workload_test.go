@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range []Mix{ReadHeavy, Balanced, WriteHeavy} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+	if err := (Mix{SearchPct: 50, InsertPct: 50, DeletePct: 50}).Validate(); err == nil {
+		t.Error("over-100 mix validated")
+	}
+	if err := (Mix{SearchPct: -10, InsertPct: 60, DeletePct: 50}).Validate(); err == nil {
+		t.Error("negative mix validated")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Mix: Balanced, Dist: Uniform, Range: 100, Seed: 7}
+	g1 := NewGenerator(cfg, 3)
+	g2 := NewGenerator(cfg, 3)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Distinct threads get distinct streams.
+	g3 := NewGenerator(cfg, 4)
+	same := 0
+	g1b := NewGenerator(cfg, 3)
+	for i := 0; i < 1000; i++ {
+		if g1b.Next() == g3.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("thread streams nearly identical (%d/1000)", same)
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	cfg := Config{Mix: ReadHeavy, Dist: Uniform, Range: 1000, Seed: 1}
+	g := NewGenerator(cfg, 0)
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if got := counts[OpSearch]; got < n*85/100 || got > n*95/100 {
+		t.Fatalf("searches = %d, want about %d", got, n*90/100)
+	}
+	if got := counts[OpDelete]; got < n/200 || got > n*2/100 {
+		t.Fatalf("deletes = %d, want about %d", got, n/100)
+	}
+}
+
+func TestGeneratorKeyRanges(t *testing.T) {
+	for _, dist := range []KeyDist{Uniform, Zipf, Sequential, Clustered} {
+		cfg := Config{Mix: Balanced, Dist: dist, Range: 128, Seed: 2}
+		g := NewGenerator(cfg, 0)
+		for i := 0; i < 10000; i++ {
+			op := g.Next()
+			if op.Key < 0 || op.Key >= 128 {
+				t.Fatalf("%v: key %d out of range", dist, op.Key)
+			}
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	cfg := Config{Mix: Balanced, Dist: Zipf, Range: 1024, Seed: 3}
+	g := NewGenerator(cfg, 0)
+	counts := make([]int, 1024)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The hottest key should take far more than the uniform share.
+	if counts[0] < n/50 {
+		t.Fatalf("zipf key 0 drawn %d times, want heavy skew", counts[0])
+	}
+}
+
+func TestPrefill(t *testing.T) {
+	keys := Prefill(10)
+	want := []int{0, 2, 4, 6, 8}
+	if len(keys) != len(want) {
+		t.Fatalf("Prefill(10) = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Prefill(10) = %v", keys)
+		}
+	}
+}
+
+func TestGeneratorKeysInRangeQuick(t *testing.T) {
+	f := func(seed uint64, rng uint8) bool {
+		r := int(rng)%512 + 1
+		g := NewGenerator(Config{Mix: Balanced, Dist: Uniform, Range: r, Seed: seed}, 1)
+		for i := 0; i < 200; i++ {
+			if op := g.Next(); op.Key < 0 || op.Key >= r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package lockfree
+
+import (
+	"cmp"
+
+	"repro/internal/hashmap"
+)
+
+// HashMap is a fixed-capacity lock-free hash map whose buckets are the
+// paper's linked lists - the "building block" construction of Michael
+// (SPAA 2002) that the paper's related work discusses. Expected O(1 + c)
+// operations at a sane load factor; no resizing. Unlike List and SkipList
+// it does not provide ordered iteration.
+type HashMap[K cmp.Ordered, V any] struct {
+	m *hashmap.Map[K, V]
+}
+
+// NewHashMap returns a hash map with the given bucket count (rounded up to
+// a power of two) and hash function. Use IntHash or StringHash for common
+// key types, or supply your own.
+func NewHashMap[K cmp.Ordered, V any](buckets int, hash func(K) uint64) *HashMap[K, V] {
+	return &HashMap[K, V]{m: hashmap.New[K, V](buckets, hash)}
+}
+
+// IntHash mixes an integer key; pass to NewHashMap for integer keys.
+func IntHash[K ~int | ~int32 | ~int64 | ~uint | ~uint32 | ~uint64](k K) uint64 {
+	return hashmap.IntHash(k)
+}
+
+// StringHash hashes a string key (FNV-1a); pass to NewHashMap for string
+// keys.
+func StringHash[K ~string](k K) uint64 { return hashmap.StringHash(k) }
+
+// Insert adds key with value; false if key is already present.
+func (h *HashMap[K, V]) Insert(key K, value V) bool { return h.m.Insert(key, value) }
+
+// Get returns the value stored at key.
+func (h *HashMap[K, V]) Get(key K) (V, bool) { return h.m.Get(key) }
+
+// Contains reports whether key is present.
+func (h *HashMap[K, V]) Contains(key K) bool { return h.m.Contains(key) }
+
+// Delete removes key; false if absent (or a concurrent Delete won).
+func (h *HashMap[K, V]) Delete(key K) bool { return h.m.Delete(key) }
+
+// Len returns the number of keys (exact when no operations are in flight).
+func (h *HashMap[K, V]) Len() int { return h.m.Len() }
+
+// Range calls fn for every key/value until fn returns false. Iteration is
+// weakly consistent and NOT globally key-ordered (use SkipList for that).
+func (h *HashMap[K, V]) Range(fn func(key K, value V) bool) { h.m.Range(fn) }

@@ -1,0 +1,88 @@
+package lockfree_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/lockfree"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	h := lockfree.NewHashMap[string, int](32, lockfree.StringHash)
+	if !h.Insert("x", 1) || h.Insert("x", 2) {
+		t.Fatal("insert semantics wrong")
+	}
+	if v, ok := h.Get("x"); !ok || v != 1 {
+		t.Fatalf("Get = %d, %t", v, ok)
+	}
+	if !h.Contains("x") || h.Contains("y") {
+		t.Fatal("contains wrong")
+	}
+	if !h.Delete("x") || h.Delete("x") {
+		t.Fatal("delete semantics wrong")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHashMapIntKeys(t *testing.T) {
+	h := lockfree.NewHashMap[int, string](64, lockfree.IntHash)
+	for i := 0; i < 1000; i++ {
+		h.Insert(i, fmt.Sprint(i))
+	}
+	if h.Len() != 1000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	seen := 0
+	h.Range(func(k int, v string) bool {
+		if v != fmt.Sprint(k) {
+			t.Fatalf("value mismatch at %d: %q", k, v)
+		}
+		seen++
+		return true
+	})
+	if seen != 1000 {
+		t.Fatalf("Range saw %d", seen)
+	}
+}
+
+func TestHashMapConcurrentChurn(t *testing.T) {
+	h := lockfree.NewHashMap[int, int](64, lockfree.IntHash)
+	const workers, ops, keyRange = 8, 2000, 128
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 31))
+			for i := 0; i < ops; i++ {
+				k := int(rng.Uint64N(keyRange))
+				switch rng.Uint64N(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	count := 0
+	h.Range(func(_, _ int) bool { count++; return true })
+	if h.Len() != count {
+		t.Fatalf("Len = %d, Range saw %d", h.Len(), count)
+	}
+}
+
+func ExampleNewHashMap() {
+	h := lockfree.NewHashMap[string, int](16, lockfree.StringHash)
+	h.Insert("hits", 1)
+	v, _ := h.Get("hits")
+	fmt.Println(v)
+	// Output: 1
+}

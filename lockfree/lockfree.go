@@ -1,0 +1,201 @@
+// Package lockfree is the public API of this repository: lock-free sorted
+// linked lists and skip lists implementing the algorithms of Mikhail
+// Fomitchev and Eric Ruppert, "Lock-Free Linked Lists and Skip Lists"
+// (PODC 2004).
+//
+// Both structures are linearizable dictionaries over ordered keys. They
+// are safe for concurrent use by any number of goroutines without locks:
+// a goroutine that is delayed - or never scheduled again - cannot prevent
+// others from completing operations. The linked list additionally carries
+// the paper's headline guarantee: the amortized cost of an operation is
+// O(n + c), linear in the list length plus the operation's point
+// contention, because operations recover from interference through
+// backlinks instead of restarting.
+//
+// Choose List for small dictionaries or when the O(n + c) amortized bound
+// matters; choose SkipList for large dictionaries, where operations take
+// expected O(log n) time.
+//
+//	m := lockfree.NewSkipList[string, int]()
+//	m.Insert("a", 1)
+//	v, ok := m.Get("a")
+//	m.Delete("a")
+package lockfree
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// Map is the dictionary interface implemented by both List and SkipList.
+// Keys are unique; Insert never overwrites.
+type Map[K cmp.Ordered, V any] interface {
+	// Insert adds key with value; it returns false (without modifying
+	// anything) if key is already present.
+	Insert(key K, value V) bool
+	// Get returns the value stored at key.
+	Get(key K) (V, bool)
+	// Contains reports whether key is present.
+	Contains(key K) bool
+	// Delete removes key; it returns false if key was absent or a
+	// concurrent Delete of the same key won the race.
+	Delete(key K) bool
+	// Len returns the number of keys. The value is exact whenever no
+	// operations are in flight, and within the number of in-flight
+	// operations otherwise.
+	Len() int
+	// Ascend calls fn on each key/value in ascending key order until fn
+	// returns false. Iteration is weakly consistent: it reflects some
+	// interleaving of concurrent updates, never a torn state.
+	Ascend(fn func(key K, value V) bool)
+}
+
+// List is a lock-free sorted linked list dictionary. Operations take time
+// linear in the list length; the amortized cost under contention is
+// O(n + c) (paper, Section 3.4). Create with NewList.
+type List[K cmp.Ordered, V any] struct {
+	l *core.List[K, V]
+}
+
+var _ Map[int, any] = (*List[int, any])(nil)
+
+// NewList returns an empty list dictionary.
+func NewList[K cmp.Ordered, V any]() *List[K, V] {
+	return &List[K, V]{l: core.NewList[K, V]()}
+}
+
+// Insert adds key with value; false if key is already present.
+func (s *List[K, V]) Insert(key K, value V) bool {
+	_, ok := s.l.Insert(nil, key, value)
+	return ok
+}
+
+// Get returns the value stored at key.
+func (s *List[K, V]) Get(key K) (V, bool) { return s.l.Get(nil, key) }
+
+// Contains reports whether key is present.
+func (s *List[K, V]) Contains(key K) bool {
+	_, ok := s.l.Get(nil, key)
+	return ok
+}
+
+// Delete removes key; false if absent (or a concurrent Delete won).
+func (s *List[K, V]) Delete(key K) bool {
+	_, ok := s.l.Delete(nil, key)
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *List[K, V]) Len() int { return s.l.Len() }
+
+// Ascend iterates keys in ascending order.
+func (s *List[K, V]) Ascend(fn func(key K, value V) bool) { s.l.Ascend(fn) }
+
+// SkipList is a lock-free skip list dictionary with expected O(log n)
+// operations. Create with NewSkipList.
+type SkipList[K cmp.Ordered, V any] struct {
+	l *core.SkipList[K, V]
+}
+
+var _ Map[int, any] = (*SkipList[int, any])(nil)
+
+// Option configures a SkipList.
+type Option func(*config)
+
+type config struct {
+	maxLevel int
+	rng      func() uint64
+}
+
+// WithMaxLevel caps tower heights at maxLevel-1 (head towers use
+// maxLevel). The default, 32, is ample for any in-memory dictionary;
+// lower it only to bound memory for small fixed-size sets. Values are
+// clamped to [2, 64].
+func WithMaxLevel(maxLevel int) Option {
+	return func(c *config) { c.maxLevel = maxLevel }
+}
+
+// WithRandomSource replaces the source of random bits used for tower
+// heights, e.g. for deterministic tests. The function must be safe for
+// concurrent use.
+func WithRandomSource(rng func() uint64) Option {
+	return func(c *config) { c.rng = rng }
+}
+
+// NewSkipList returns an empty skip-list dictionary.
+func NewSkipList[K cmp.Ordered, V any](opts ...Option) *SkipList[K, V] {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var coreOpts []core.SkipListOption
+	if cfg.maxLevel != 0 {
+		coreOpts = append(coreOpts, core.WithMaxLevel(cfg.maxLevel))
+	}
+	if cfg.rng != nil {
+		coreOpts = append(coreOpts, core.WithRandomSource(cfg.rng))
+	}
+	return &SkipList[K, V]{l: core.NewSkipList[K, V](coreOpts...)}
+}
+
+// Insert adds key with value; false if key is already present.
+func (s *SkipList[K, V]) Insert(key K, value V) bool {
+	_, ok := s.l.Insert(nil, key, value)
+	return ok
+}
+
+// Get returns the value stored at key.
+func (s *SkipList[K, V]) Get(key K) (V, bool) { return s.l.Get(nil, key) }
+
+// Contains reports whether key is present.
+func (s *SkipList[K, V]) Contains(key K) bool {
+	_, ok := s.l.Get(nil, key)
+	return ok
+}
+
+// Delete removes key; false if absent (or a concurrent Delete won).
+func (s *SkipList[K, V]) Delete(key K) bool {
+	_, ok := s.l.Delete(nil, key)
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *SkipList[K, V]) Len() int { return s.l.Len() }
+
+// Ascend iterates keys in ascending order.
+func (s *SkipList[K, V]) Ascend(fn func(key K, value V) bool) { s.l.Ascend(fn) }
+
+// AscendRange iterates keys in [from, to) in ascending order. Iteration is
+// weakly consistent under concurrent updates.
+func (s *SkipList[K, V]) AscendRange(from, to K, fn func(key K, value V) bool) {
+	s.l.AscendRange(nil, from, to, fn)
+}
+
+// Min returns the smallest key and its value; ok is false when empty.
+func (s *SkipList[K, V]) Min() (key K, value V, ok bool) {
+	s.l.Ascend(func(k K, v V) bool {
+		key, value, ok = k, v, true
+		return false
+	})
+	return key, value, ok
+}
+
+// DeleteMin removes and returns the smallest key, retrying if a concurrent
+// operation takes it first; ok is false when the skip list is empty. It
+// turns the skip list into a concurrent priority queue (the Lotan-Shavit
+// use case from the paper's Section 2).
+func (s *SkipList[K, V]) DeleteMin() (key K, value V, ok bool) {
+	for {
+		k, v, found := s.Min()
+		if !found {
+			var zk K
+			var zv V
+			return zk, zv, false
+		}
+		if s.Delete(k) {
+			return k, v, true
+		}
+		// Someone else deleted k first; retry with the new minimum.
+	}
+}

@@ -1,0 +1,150 @@
+package lockfree_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/lockfree"
+)
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	q := lockfree.NewPriorityQueue[int, string]()
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for {
+		_, v, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("pop order = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestPriorityQueueDuplicatePrioritiesFIFO(t *testing.T) {
+	q := lockfree.NewPriorityQueue[int, int]()
+	for i := 0; i < 10; i++ {
+		q.Push(5, i) // same priority
+	}
+	q.Push(1, -1)
+	if p, v, ok := q.PeekMin(); !ok || p != 1 || v != -1 {
+		t.Fatalf("PeekMin = %d, %d, %t", p, v, ok)
+	}
+	q.PopMin() // drop the priority-1 entry
+	for i := 0; i < 10; i++ {
+		p, v, ok := q.PopMin()
+		if !ok || p != 5 || v != i {
+			t.Fatalf("pop %d = (%d,%d,%t), want FIFO within priority", i, p, v, ok)
+		}
+	}
+}
+
+func TestPriorityQueueEmpty(t *testing.T) {
+	q := lockfree.NewPriorityQueue[int, int]()
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty succeeded")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty succeeded")
+	}
+}
+
+func TestPriorityQueueConcurrentProducersConsumers(t *testing.T) {
+	q := lockfree.NewPriorityQueue[int, int]()
+	const producers, perProducer, consumers = 4, 500, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(p), 1))
+			for i := 0; i < perProducer; i++ {
+				q.Push(int(rng.Uint64N(100)), p*perProducer+i)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, v, ok := q.PopMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d popped twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestPriorityQueuePerConsumerMonotone: each consumer's stream of popped
+// priorities must be non-decreasing when there are no concurrent pushes
+// (a popped minimum cannot be followed by a smaller one).
+func TestPriorityQueuePerConsumerMonotone(t *testing.T) {
+	q := lockfree.NewPriorityQueue[int, int]()
+	rng := rand.New(rand.NewPCG(9, 9))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		q.Push(int(rng.Uint64N(1000)), i)
+	}
+	const consumers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1
+			for {
+				p, _, ok := q.PopMin()
+				if !ok {
+					return
+				}
+				if p < prev {
+					t.Errorf("priority went backwards: %d after %d", p, prev)
+					return
+				}
+				prev = p
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func ExampleNewPriorityQueue() {
+	q := lockfree.NewPriorityQueue[int, string]()
+	q.Push(2, "second")
+	q.Push(1, "first")
+	for {
+		p, v, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		fmt.Println(p, v)
+	}
+	// Output:
+	// 1 first
+	// 2 second
+}
