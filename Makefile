@@ -1,0 +1,20 @@
+# Convenience entry points; see README.md "Development" for details.
+
+.PHONY: check test vet race bench-json
+
+# The full local gate: vet + tier-1 (build, test) + race detector.
+check:
+	scripts/check.sh
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./...
+
+# Run the instrumented throughput stage and write BENCH_lflbench.json.
+bench-json:
+	go run ./cmd/lflbench -exp bench

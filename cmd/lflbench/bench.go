@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/obshttp"
+	"repro/internal/workload"
+	ltel "repro/lockfree/telemetry"
+)
+
+// serveTelemetry exposes /metrics and /debug/vars while the run is live.
+func serveTelemetry(addr string) (stop func(), bound string, err error) {
+	bound, stop, err = obshttp.Serve(addr)
+	return stop, bound, err
+}
+
+// The "bench" stage is the machine-readable counterpart of the experiment
+// tables: it drives the primary structures with telemetry attached at
+// sampling period 1 (exact recording) and emits BENCH_lflbench.json with
+// ops/sec, essential steps per operation, the full counter vector, and
+// latency quantiles taken from the live histograms — the same numbers a
+// production scrape of /metrics would see.
+
+// benchJSON is the file schema.
+type benchJSON struct {
+	Schema     string     `json:"schema"` // "lflbench/v1"
+	GoMaxProcs int        `json:"go_max_procs"`
+	Quick      bool       `json:"quick"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+type benchRow struct {
+	Impl                string               `json:"impl"`
+	Threads             int                  `json:"threads"`
+	Mix                 string               `json:"mix"`
+	KeyRange            int                  `json:"key_range"`
+	Ops                 int                  `json:"ops"`
+	OpsPerSec           float64              `json:"ops_per_sec"`
+	EssentialStepsPerOp float64              `json:"essential_steps_per_op"`
+	Counters            map[string]uint64    `json:"counters"`
+	Latency             map[string]latencyNS `json:"latency"`
+}
+
+type latencyNS struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P99NS  int64  `json:"p99_ns"`
+}
+
+// benchDict adapts the two primary structures; unlike experiments.NewDict
+// it attaches a telemetry recorder.
+type benchDict interface {
+	insert(k int) bool
+	remove(k int) bool
+	contains(k int) bool
+}
+
+type benchList struct{ l *core.List[int, int] }
+
+func (d benchList) insert(k int) bool   { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d benchList) remove(k int) bool   { _, ok := d.l.Delete(nil, k); return ok }
+func (d benchList) contains(k int) bool { return d.l.Search(nil, k) != nil }
+
+type benchSkip struct{ l *core.SkipList[int, int] }
+
+func (d benchSkip) insert(k int) bool   { _, ok := d.l.Insert(nil, k, k); return ok }
+func (d benchSkip) remove(k int) bool   { _, ok := d.l.Delete(nil, k); return ok }
+func (d benchSkip) contains(k int) bool { return d.l.Search(nil, k) != nil }
+
+func newBenchDict(impl string, tel *ltel.Telemetry) benchDict {
+	switch impl {
+	case "fr-list":
+		l := core.NewList[int, int]()
+		l.SetTelemetry(tel.Recorder())
+		return benchList{l}
+	case "fr-skiplist":
+		l := core.NewSkipList[int, int]()
+		l.SetTelemetry(tel.Recorder())
+		return benchSkip{l}
+	default:
+		panic("unknown bench implementation " + impl)
+	}
+}
+
+// runBenchJSON measures every configuration, writes the JSON file, and
+// returns a human-readable summary table.
+func runBenchJSON(path string, quick bool) (string, error) {
+	impls := []string{"fr-list", "fr-skiplist"}
+	threads := []int{1, 2, 4}
+	keyRange, ops := 1024, 200_000
+	if quick {
+		threads = []int{1, 2}
+		keyRange, ops = 256, 20_000
+	}
+
+	out := benchJSON{
+		Schema:     "lflbench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s, range=%d, ops=%d) ==\n",
+		workload.Balanced, keyRange, ops)
+	text += fmt.Sprintf("%-12s %8s %10s %14s %12s %12s\n",
+		"impl", "threads", "Mops/s", "ess.steps/op", "get p50", "get p99")
+	for _, impl := range impls {
+		// Lists walk every node: keep the full range but trim ops so the
+		// fr-list rows finish in comparable time.
+		implOps := ops
+		if impl == "fr-list" && !quick {
+			implOps = ops / 4
+		}
+		for _, th := range threads {
+			row, err := benchOne(impl, th, keyRange, implOps)
+			if err != nil {
+				return "", err
+			}
+			out.Benchmarks = append(out.Benchmarks, row)
+			g := row.Latency["get"]
+			text += fmt.Sprintf("%-12s %8d %10.3f %14.1f %12s %12s\n",
+				impl, th, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
+				time.Duration(g.P50NS), time.Duration(g.P99NS))
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	text += fmt.Sprintf("wrote %s\n", path)
+	return text, nil
+}
+
+// benchOne runs one instrumented configuration and reads its metrics back
+// out of the telemetry snapshot.
+func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
+	tel, err := newBenchTelemetry(fmt.Sprintf("bench-%s-%d", impl, threads))
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer tel.Unregister()
+	d := newBenchDict(impl, tel)
+	for _, k := range workload.Prefill(keyRange) {
+		d.insert(k)
+	}
+	tel.Delta() // reset the delta baseline: exclude prefill from the measured window
+
+	perThread := ops / threads
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.Config{
+				Mix: workload.Balanced, Dist: workload.Uniform, Range: keyRange, Seed: 11,
+			}, t)
+			<-start
+			for i := 0; i < perThread; i++ {
+				op := gen.Next()
+				switch op.Kind {
+				case workload.OpInsert:
+					d.insert(op.Key)
+				case workload.OpDelete:
+					d.remove(op.Key)
+				default:
+					d.contains(op.Key)
+				}
+			}
+		}(t)
+	}
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	s := tel.Delta()
+	row := benchRow{
+		Impl:                impl,
+		Threads:             threads,
+		Mix:                 workload.Balanced.String(),
+		KeyRange:            keyRange,
+		Ops:                 perThread * threads,
+		OpsPerSec:           float64(perThread*threads) / elapsed.Seconds(),
+		EssentialStepsPerOp: s.EssentialStepsPerOp(),
+		Counters:            map[string]uint64{},
+		Latency:             map[string]latencyNS{},
+	}
+	for i, v := range s.Counters.Vector() {
+		row.Counters[instrument.CounterNames[i]] = v
+	}
+	for op := ltel.Op(0); op < ltel.NumOps; op++ {
+		o := s.Ops[op]
+		if o.Count == 0 {
+			continue
+		}
+		l := latencyNS{Count: o.Count, MeanNS: int64(o.MeanLatency())}
+		if p50, ok := o.LatencyQuantile(0.50); ok {
+			l.P50NS = p50.Nanoseconds()
+		}
+		if p99, ok := o.LatencyQuantile(0.99); ok {
+			l.P99NS = p99.Nanoseconds()
+		}
+		row.Latency[op.String()] = l
+	}
+	return row, nil
+}
+
+// newBenchTelemetry registers a fresh exact-recording instance and
+// publishes it to expvar, recovering from a name collision (e.g. reruns
+// inside one test process — expvar names are permanent) by suffixing.
+func newBenchTelemetry(name string) (t *ltel.Telemetry, err error) {
+	for i := 0; i < 16; i++ {
+		n := name
+		if i > 0 {
+			n = fmt.Sprintf("%s-%d", name, i)
+		}
+		if t = tryNewTelemetry(n); t != nil {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("could not register telemetry instance %q", name)
+}
+
+func tryNewTelemetry(name string) (t *ltel.Telemetry) {
+	defer func() {
+		if recover() != nil {
+			if t != nil {
+				t.Unregister()
+			}
+			t = nil
+		}
+	}()
+	t = ltel.New(name, ltel.WithSampleEvery(1))
+	t.PublishExpvar()
+	return t
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchJSONOutput runs the instrumented bench stage in quick mode and
+// checks the machine-readable file: valid JSON, expected schema, and live
+// metrics (throughput, essential steps, latency quantiles) present and
+// plausible for every row.
+func TestBenchJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_lflbench.json")
+	text, err := runBenchJSON(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "== bench") || !strings.Contains(text, "fr-skiplist") {
+		t.Fatalf("summary table malformed:\n%s", text)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Schema != "lflbench/v1" {
+		t.Fatalf("schema = %q", out.Schema)
+	}
+	// quick mode: 2 impls x 2 thread counts.
+	if len(out.Benchmarks) != 4 {
+		t.Fatalf("rows = %d, want 4", len(out.Benchmarks))
+	}
+	for _, row := range out.Benchmarks {
+		if row.OpsPerSec <= 0 {
+			t.Fatalf("%s/%d: ops_per_sec = %v", row.Impl, row.Threads, row.OpsPerSec)
+		}
+		if row.EssentialStepsPerOp <= 0 {
+			t.Fatalf("%s/%d: essential_steps_per_op = %v", row.Impl, row.Threads, row.EssentialStepsPerOp)
+		}
+		if row.Counters["cas_attempts"] == 0 || row.Counters["curr_updates"] == 0 {
+			t.Fatalf("%s/%d: counters missing: %v", row.Impl, row.Threads, row.Counters)
+		}
+		get, ok := row.Latency["get"]
+		if !ok || get.Count == 0 {
+			t.Fatalf("%s/%d: no get latency: %v", row.Impl, row.Threads, row.Latency)
+		}
+		// Exact recording at period 1: p50 <= p99, both nonzero.
+		if get.P50NS <= 0 || get.P99NS < get.P50NS {
+			t.Fatalf("%s/%d: quantiles p50=%d p99=%d", row.Impl, row.Threads, get.P50NS, get.P99NS)
+		}
+	}
+}
+
+// TestRunBenchStageSelectable checks the bench stage is reachable through
+// the -exp flag and honors -json.
+func TestRunBenchStageSelectable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run([]string{"-exp", "bench", "-quick", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("bench stage did not write %s: %v", path, err)
+	}
+}

@@ -1,12 +1,16 @@
 // Command lflbench runs the paper-reproduction experiments E1-E7 (see
-// DESIGN.md for the experiment index) and prints their tables.
+// DESIGN.md for the experiment index) and prints their tables, plus the
+// "bench" stage, which drives the telemetry-instrumented structures and
+// writes machine-readable results to BENCH_lflbench.json.
 //
 // Usage:
 //
-//	lflbench [-exp e1,e2,...|all] [-quick]
+//	lflbench [-exp e1,e2,...,bench|all] [-quick] [-json FILE] [-telemetry-addr HOST:PORT]
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
-// full configurations recorded in EXPERIMENTS.md.
+// full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
+// the live /metrics (Prometheus text) and /debug/vars (expvar) endpoints
+// while the run is in progress.
 package main
 
 import (
@@ -29,15 +33,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lflbench", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "comma-separated experiments to run (e1..e8, or all)")
+	expFlag := fs.String("exp", "all", "comma-separated experiments to run (e1..e8, bench, or all)")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	jsonPath := fs.String("json", "BENCH_lflbench.json", "output file for the bench stage's machine-readable results")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "bench"} {
 			want[e] = true
 		}
 	} else {
@@ -49,18 +55,31 @@ func run(args []string) error {
 		}
 	}
 
+	if *telAddr != "" {
+		stop, addr, err := serveTelemetry(*telAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("telemetry: serving /metrics and /debug/vars on http://%s\n\n", addr)
+	}
+
+	wrap := func(f func(bool) string) func(bool) (string, error) {
+		return func(q bool) (string, error) { return f(q), nil }
+	}
 	runners := []struct {
 		name string
-		fn   func(quick bool) string
+		fn   func(quick bool) (string, error)
 	}{
-		{"e1", runE1},
-		{"e2", runE2},
-		{"e3", runE3},
-		{"e4", runE4},
-		{"e5", runE5},
-		{"e6", runE6},
-		{"e7", runE7},
-		{"e8", runE8},
+		{"e1", wrap(runE1)},
+		{"e2", wrap(runE2)},
+		{"e3", wrap(runE3)},
+		{"e4", wrap(runE4)},
+		{"e5", wrap(runE5)},
+		{"e6", wrap(runE6)},
+		{"e7", wrap(runE7)},
+		{"e8", wrap(runE8)},
+		{"bench", func(q bool) (string, error) { return runBenchJSON(*jsonPath, q) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -68,13 +87,16 @@ func run(args []string) error {
 			continue
 		}
 		begin := time.Now()
-		out := r.fn(*quick)
+		out, err := r.fn(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
 		fmt.Print(out)
 		fmt.Printf("[%s finished in %v]\n\n", r.name, time.Since(begin).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments selected (use -exp e1..e8 or all)")
+		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, or all)")
 	}
 	return nil
 }

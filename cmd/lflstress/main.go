@@ -6,7 +6,14 @@
 // Usage:
 //
 //	lflstress [-impl fr-skiplist] [-threads 8] [-ops 2000] [-keys 16]
-//	          [-rounds 20] [-seed 1]
+//	          [-rounds 20] [-seed 1] [-telemetry-addr HOST:PORT]
+//	          [-telemetry-every 5]
+//
+// With -telemetry-addr, the fr-list and fr-skiplist implementations run
+// with the live telemetry layer attached (exact recording, sampling
+// period 1) and the Prometheus /metrics and expvar /debug/vars endpoints
+// are served for the duration of the run; a per-interval delta summary is
+// printed every -telemetry-every rounds.
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"repro/internal/harris"
 	"repro/internal/history"
 	"repro/internal/noflag"
+	"repro/internal/obshttp"
 	"repro/internal/sundell"
 	"repro/internal/valois"
+	ltel "repro/lockfree/telemetry"
 )
 
 func main() {
@@ -89,12 +98,23 @@ func (d noflagList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok 
 func (d noflagList) search(k int) bool { return d.l.Search(nil, k) != nil }
 func (d noflagList) validate() error   { return nil }
 
-func newChecked(impl string) (checked, error) {
+// newChecked builds the implementation under test. The primary structures
+// accept an optional telemetry instance (nil for none); the baselines have
+// no telemetry seam, so the flag only affects fr-list and fr-skiplist.
+func newChecked(impl string, tel *ltel.Telemetry) (checked, error) {
 	switch impl {
 	case "fr-list":
-		return frList{core.NewList[int, int]()}, nil
+		l := core.NewList[int, int]()
+		if tel != nil {
+			l.SetTelemetry(tel.Recorder())
+		}
+		return frList{l}, nil
 	case "fr-skiplist":
-		return frSkip{core.NewSkipList[int, int]()}, nil
+		l := core.NewSkipList[int, int]()
+		if tel != nil {
+			l.SetTelemetry(tel.Recorder())
+		}
+		return frSkip{l}, nil
 	case "harris-list":
 		return harrisList{harris.NewList[int, int]()}, nil
 	case "harris-skiplist":
@@ -118,13 +138,29 @@ func run(args []string) error {
 	keys := fs.Int("keys", 16, "key-space size (small = high contention)")
 	rounds := fs.Int("rounds", 20, "independent rounds")
 	seed := fs.Uint64("seed", 1, "base random seed")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
+	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var tel *ltel.Telemetry
+	if *telAddr != "" {
+		// Exact recording: a stress run wants complete histograms, not a
+		// sampled estimate.
+		tel = ltel.New("lflstress", ltel.WithSampleEvery(1)).PublishExpvar()
+		defer tel.Unregister()
+		bound, stop, err := obshttp.Serve(*telAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("telemetry: serving /metrics and /debug/vars on http://%s\n", bound)
+	}
+
 	totalOps := 0
 	for round := 0; round < *rounds; round++ {
-		d, err := newChecked(*impl)
+		d, err := newChecked(*impl, tel)
 		if err != nil {
 			return err
 		}
@@ -164,8 +200,34 @@ func run(args []string) error {
 			return fmt.Errorf("round %d: %w", round, err)
 		}
 		totalOps += *threads * *ops
+		if tel != nil && *telEvery > 0 && (round+1)%*telEvery == 0 {
+			printTelemetryDelta(round+1, tel.Delta())
+		}
 	}
 	fmt.Printf("ok: %s passed %d rounds, %d checked operations, all histories linearizable\n",
 		*impl, *rounds, totalOps)
 	return nil
+}
+
+// printTelemetryDelta summarizes the live metrics accumulated since the
+// previous interval: per-op throughput and latency quantiles plus the
+// paper's essential-step counters (Section 3.4 accounting).
+func printTelemetryDelta(round int, s ltel.Snapshot) {
+	fmt.Printf("[telemetry] after round %d: ops=%d ess.steps/op=%.1f cas=%d/%d backlinks=%d\n",
+		round, s.TotalOps(), s.EssentialStepsPerOp(),
+		s.Counters.CASSuccesses, s.Counters.CASAttempts, s.Counters.BacklinkTraversals)
+	for op := ltel.Op(0); op < ltel.NumOps; op++ {
+		o := s.Ops[op]
+		if o.Count == 0 {
+			continue
+		}
+		line := fmt.Sprintf("[telemetry]   %-7s n=%-7d mean=%v", op, o.Count, o.MeanLatency())
+		if p50, ok := o.LatencyQuantile(0.50); ok {
+			line += fmt.Sprintf(" p50=%v", p50)
+		}
+		if p99, ok := o.LatencyQuantile(0.99); ok {
+			line += fmt.Sprintf(" p99=%v", p99)
+		}
+		fmt.Println(line)
+	}
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/obshttp"
+	ltel "repro/lockfree/telemetry"
 )
 
 func TestNewCheckedKnownImpls(t *testing.T) {
@@ -10,7 +15,7 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 		"fr-list", "fr-skiplist", "harris-list", "harris-skiplist",
 		"valois-list", "noflag-list",
 	} {
-		d, err := newChecked(impl)
+		d, err := newChecked(impl, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
@@ -30,7 +35,7 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 }
 
 func TestNewCheckedUnknownImpl(t *testing.T) {
-	if _, err := newChecked("btree"); err == nil {
+	if _, err := newChecked("btree", nil); err == nil {
 		t.Fatal("unknown implementation accepted")
 	}
 }
@@ -48,4 +53,79 @@ func TestRunBadFlags(t *testing.T) {
 		!strings.Contains(err.Error(), "unknown -impl") {
 		t.Fatalf("err = %v", err)
 	}
+}
+
+// TestRunWithTelemetry exercises the full observability path: a run with
+// -telemetry-addr must attach the recorder, serve the endpoints, and print
+// per-interval deltas without disturbing the linearizability checking.
+func TestRunWithTelemetry(t *testing.T) {
+	err := run([]string{"-impl", "fr-skiplist", "-threads", "4", "-ops", "100",
+		"-keys", "8", "-rounds", "2", "-telemetry-addr", "127.0.0.1:0",
+		"-telemetry-every", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryScrapeDuringStress is the acceptance check from the issue:
+// scraping /metrics while a telemetry-attached structure is being hammered
+// must show nonzero C&S attempts, backlink traversals, and latency buckets.
+func TestTelemetryScrapeDuringStress(t *testing.T) {
+	tel := ltel.New("stress-scrape", ltel.WithSampleEvery(1)).PublishExpvar()
+	defer tel.Unregister()
+	d, err := newChecked("fr-skiplist", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, stop, err := obshttp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Contended workload: concurrent deletes of shared keys force backlink
+	// traversals.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			k := i % 8
+			d.insert(k)
+			d.remove(k)
+			d.search(k)
+		}
+	}()
+	<-done
+
+	body := httpGet(t, "http://"+bound+"/metrics")
+	for _, want := range []string{
+		`lockfree_cas_attempts_total{structure="stress-scrape"}`,
+		`lockfree_ops_total{structure="stress-scrape",op="insert"}`,
+		`lockfree_op_latency_seconds_bucket{structure="stress-scrape",op="insert",le=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	s := tel.Snapshot()
+	if s.Counters.CASAttempts == 0 {
+		t.Fatalf("no C&S attempts recorded: %+v", s.Counters)
+	}
+	if vars := httpGet(t, "http://"+bound+"/debug/vars"); !strings.Contains(vars, `"lockfree:stress-scrape"`) {
+		t.Fatal("/debug/vars missing the published instance")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

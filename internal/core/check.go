@@ -67,11 +67,11 @@ func checkOrder(a, b nodeKind, keyCmp func() int) error {
 	}
 }
 
-// Ascend calls fn for each key/value in ascending order, skipping
+// ascend calls fn for each key/value in ascending order, skipping
 // logically deleted nodes. Iteration is weakly consistent: it reflects
 // some interleaving of concurrent updates. fn returning false stops the
-// iteration.
-func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+// iteration. Ascend in telemetry.go wraps it with the metrics flush.
+func (l *List[K, V]) ascend(fn func(k K, v V) bool) {
 	n := l.head.right()
 	for n.kind != kindTail {
 		if !n.marked() {
@@ -161,9 +161,9 @@ func (l *SkipList[K, V]) CheckStructure() error {
 	return nil
 }
 
-// Ascend calls fn for each key/value in ascending order by walking level 1,
+// ascend calls fn for each key/value in ascending order by walking level 1,
 // skipping marked roots. Weakly consistent under concurrency.
-func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
+func (l *SkipList[K, V]) ascend(fn func(k K, v V) bool) {
 	n := l.heads[0].right()
 	for n.kind != kindTail {
 		if !n.marked() {
@@ -175,9 +175,9 @@ func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
 	}
 }
 
-// AscendRange calls fn for keys in [from, to) in ascending order. It uses
+// ascendRange calls fn for keys in [from, to) in ascending order. It uses
 // the skip-list search to locate the start, then walks level 1.
-func (l *SkipList[K, V]) AscendRange(p *Proc, from, to K, fn func(k K, v V) bool) {
+func (l *SkipList[K, V]) ascendRange(p *Proc, from, to K, fn func(k K, v V) bool) {
 	curr, next := l.searchToLevel(p, from, 1, true) // curr.key < from <= next.key
 	_ = curr
 	n := next

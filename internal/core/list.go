@@ -3,6 +3,8 @@ package core
 import (
 	"cmp"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // List is the lock-free sorted linked list of Fomitchev and Ruppert. It
@@ -17,6 +19,9 @@ type List[K comparable, V any] struct {
 	tail    *Node[K, V]
 	compare func(K, K) int
 	size    atomic.Int64
+	// tel, when non-nil, receives one RecordOp flush per completed
+	// operation (see telemetry.go). Set before the list is shared.
+	tel *telemetry.Recorder
 }
 
 // NewList returns an empty list over a naturally ordered key type.
@@ -72,9 +77,9 @@ func (l *List[K, V]) Head() *Node[K, V] { return l.head }
 // Tail returns the tail sentinel.
 func (l *List[K, V]) Tail() *Node[K, V] { return l.tail }
 
-// Search looks up k and returns its node, or nil if k is absent.
-// This is the paper's SEARCH routine (Figure 3).
-func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
+// search is the paper's SEARCH routine (Figure 3); Search in telemetry.go
+// wraps it with the optional metrics flush.
+func (l *List[K, V]) search(p *Proc, k K) *Node[K, V] {
 	curr, _ := l.searchFrom(p, k, l.head, false)
 	if l.cmpNode(curr, k) == 0 {
 		return curr
@@ -82,19 +87,19 @@ func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
 	return nil
 }
 
-// Get looks up k and returns its value. Convenience wrapper over Search.
-func (l *List[K, V]) Get(p *Proc, k K) (V, bool) {
-	if n := l.Search(p, k); n != nil {
+// get looks up k and returns its value. Convenience wrapper over search.
+func (l *List[K, V]) get(p *Proc, k K) (V, bool) {
+	if n := l.search(p, k); n != nil {
 		return n.val, true
 	}
 	var zero V
 	return zero, false
 }
 
-// Insert adds k with value v. It returns the new node and true on success,
+// insert adds k with value v. It returns the new node and true on success,
 // or the existing node and false if k is already present.
 // This is the paper's INSERT routine (Figure 5).
-func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+func (l *List[K, V]) insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 	st := p.StatsOrNil()
 	prev, next := l.searchFrom(p, k, l.head, false)
 	if l.cmpNode(prev, k) == 0 { // duplicate key
@@ -152,10 +157,10 @@ func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 	}
 }
 
-// Delete removes k. It returns the deleted node and true on success, or
+// remove deletes k. It returns the deleted node and true on success, or
 // nil and false if k was absent (or a concurrent deletion won the race).
 // This is the paper's DELETE routine (Figure 4).
-func (l *List[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
+func (l *List[K, V]) remove(p *Proc, k K) (*Node[K, V], bool) {
 	prev, delNode := l.searchFrom(p, k, l.head, true) // SearchFrom(k - eps, head)
 	if l.cmpNode(delNode, k) != 0 {                   // k is not in the list
 		return nil, false

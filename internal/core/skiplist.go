@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultMaxLevel is the default height of the head and tail towers.
@@ -29,6 +31,9 @@ type SkipList[K comparable, V any] struct {
 	tails    []*SLNode[K, V] // tail tower, index 0 = level 1
 	rng      func() uint64   // thread-safe source of random bits
 	size     atomic.Int64
+	// tel, when non-nil, receives one RecordOp flush per completed
+	// operation (see telemetry.go). Set before the skip list is shared.
+	tel *telemetry.Recorder
 }
 
 // SkipListOption configures a SkipList.
@@ -119,9 +124,9 @@ func (l *SkipList[K, V]) randomHeight() int {
 	return min(h, l.maxLevel-1)
 }
 
-// Search looks up k and returns its root node, or nil if k is absent.
-// This is SEARCH_SL.
-func (l *SkipList[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
+// search is SEARCH_SL; Search in telemetry.go wraps it with the optional
+// metrics flush.
+func (l *SkipList[K, V]) search(p *Proc, k K) *SLNode[K, V] {
 	curr, _ := l.searchToLevel(p, k, 1, false)
 	if l.cmpNode(curr, k) == 0 {
 		return curr
@@ -150,20 +155,20 @@ func (l *SkipList[K, V]) nodeLeq(n *SLNode[K, V], k K, strict bool) bool {
 	return c <= 0
 }
 
-// Get looks up k and returns its value.
-func (l *SkipList[K, V]) Get(p *Proc, k K) (V, bool) {
-	if n := l.Search(p, k); n != nil {
+// get looks up k and returns its value.
+func (l *SkipList[K, V]) get(p *Proc, k K) (V, bool) {
+	if n := l.search(p, k); n != nil {
 		return n.val, true
 	}
 	var zero V
 	return zero, false
 }
 
-// Insert adds k with value v, building the new tower bottom-up. It returns
+// insert adds k with value v, building the new tower bottom-up. It returns
 // the root node and true on success, or the existing root and false if k
 // is already present. The insertion is linearized at the root node's
 // insertion C&S. This is INSERT_SL.
-func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
+func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 	prev, next := l.searchToLevel(p, k, 1, false)
 	if l.cmpNode(prev, k) == 0 {
 		return prev, false // duplicate key
@@ -205,11 +210,11 @@ func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 	}
 }
 
-// Delete removes k. It deletes the root node first (making the remaining
+// remove deletes k. It deletes the root node first (making the remaining
 // tower superfluous and linearizing the deletion when the root is marked),
 // then sweeps levels >= 2 to physically remove the rest of the tower.
 // This is DELETE_SL.
-func (l *SkipList[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
+func (l *SkipList[K, V]) remove(p *Proc, k K) (*SLNode[K, V], bool) {
 	prev, delNode := l.searchToLevel(p, k, 1, true) // SearchToLevel_SL(k - eps, 1)
 	if l.cmpNode(delNode, k) != 0 {
 		return nil, false // no such key

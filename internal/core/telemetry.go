@@ -1,0 +1,280 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file is the telemetry seam of the primary structures: every exported
+// operation is a thin wrapper that, when a telemetry.Recorder is attached,
+// counts the operation and — for the sampled subset — accumulates the
+// paper's essential steps in a scratch OpStats and flushes them, with one
+// latency and one retry sample, into the recorder's sharded counters.
+//
+// The disabled path costs exactly one nil check per operation: no
+// allocation, no atomic, no clock read. The enabled path keeps operation
+// counts exact and samples everything else (period
+// telemetry.DefaultSampleEvery, configurable down to 1 = record
+// everything):
+//
+//   - unsampled operations run with the caller's own Proc untouched and
+//     pay one atomic load plus one striped atomic add,
+//   - sampled operations borrow a scratch OpStats from a sync.Pool (it
+//     cannot live on the stack: the hook interface call in the inner
+//     operations makes escape analysis spill anything reachable from the
+//     Proc), read the clock twice, and flush a handful of striped atomic
+//     adds — never per step, so the algorithms' hot loops are untouched.
+//
+// A caller-supplied Proc always sees exact stats: unsampled operations
+// write straight into it, sampled ones mirror the scratch back.
+
+// SetTelemetry attaches rec to the list; every subsequent operation flushes
+// its step counts and latency into it. Attach before the list is shared
+// with other goroutines (the field is read without synchronization on
+// operation entry). A nil rec detaches.
+func (l *List[K, V]) SetTelemetry(rec *telemetry.Recorder) { l.tel = rec }
+
+// Telemetry returns the attached recorder, or nil.
+func (l *List[K, V]) Telemetry() *telemetry.Recorder { return l.tel }
+
+// SetTelemetry attaches rec to the skip list; see List.SetTelemetry.
+func (l *SkipList[K, V]) SetTelemetry(rec *telemetry.Recorder) { l.tel = rec }
+
+// Telemetry returns the attached recorder, or nil.
+func (l *SkipList[K, V]) Telemetry() *telemetry.Recorder { return l.tel }
+
+// statsPool recycles scratch OpStats for sampled operations.
+var statsPool = sync.Pool{New: func() any { return new(OpStats) }}
+
+func getScratch() *OpStats {
+	st := statsPool.Get().(*OpStats)
+	*st = OpStats{}
+	return st
+}
+
+// telemetryProc returns a copy of p (hooks, ID, retire callback intact)
+// whose step counters point at st, so the operation's essential steps are
+// collected locally regardless of whether the caller passed its own Proc.
+func telemetryProc(p *Proc, st *OpStats) Proc {
+	var pr Proc
+	if p != nil {
+		pr = *p
+	}
+	pr.Stats = st
+	return pr
+}
+
+// finishSampled records one sampled operation and mirrors the locally
+// collected steps into the caller's own counters, if it brought any, so an
+// instrumented benchmark sees exactly what the live metrics see.
+func finishSampled(rec *telemetry.Recorder, tok telemetry.OpToken, op telemetry.Op, p *Proc, st *OpStats) {
+	rec.FinishOp(tok, op, st)
+	if outer := p.StatsOrNil(); outer != nil {
+		outer.Add(st)
+	}
+	statsPool.Put(st)
+}
+
+// Search looks up k and returns its node, or nil if k is absent.
+// This is the paper's SEARCH routine (Figure 3).
+func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
+	if l.tel == nil {
+		return l.search(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpGet)
+	if !tok.Sampled() {
+		n := l.search(p, k)
+		l.tel.FinishOp(tok, telemetry.OpGet, nil)
+		return n
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n := l.search(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpGet, p, st)
+	return n
+}
+
+// Get looks up k and returns its value. Convenience wrapper over Search.
+func (l *List[K, V]) Get(p *Proc, k K) (V, bool) {
+	if l.tel == nil {
+		return l.get(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpGet)
+	if !tok.Sampled() {
+		v, ok := l.get(p, k)
+		l.tel.FinishOp(tok, telemetry.OpGet, nil)
+		return v, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	v, ok := l.get(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpGet, p, st)
+	return v, ok
+}
+
+// Insert adds k with value v. It returns the new node and true on success,
+// or the existing node and false if k is already present.
+// This is the paper's INSERT routine (Figure 5).
+func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+	if l.tel == nil {
+		return l.insert(p, k, v)
+	}
+	tok := l.tel.StartOp(telemetry.OpInsert)
+	if !tok.Sampled() {
+		n, ok := l.insert(p, k, v)
+		l.tel.FinishOp(tok, telemetry.OpInsert, nil)
+		return n, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n, ok := l.insert(&pr, k, v)
+	finishSampled(l.tel, tok, telemetry.OpInsert, p, st)
+	return n, ok
+}
+
+// Delete removes k. It returns the deleted node and true on success, or
+// nil and false if k was absent (or a concurrent deletion won the race).
+// This is the paper's DELETE routine (Figure 4).
+func (l *List[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
+	if l.tel == nil {
+		return l.remove(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpDelete)
+	if !tok.Sampled() {
+		n, ok := l.remove(p, k)
+		l.tel.FinishOp(tok, telemetry.OpDelete, nil)
+		return n, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n, ok := l.remove(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpDelete, p, st)
+	return n, ok
+}
+
+// Ascend calls fn for each key/value in ascending order, skipping
+// logically deleted nodes. Iteration is weakly consistent: it reflects
+// some interleaving of concurrent updates. fn returning false stops the
+// iteration.
+func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+	if l.tel == nil {
+		l.ascend(fn)
+		return
+	}
+	// Iterations are rare, whole-structure walks: always time them.
+	start := telemetry.Nanotime()
+	l.ascend(fn)
+	l.tel.RecordOp(telemetry.OpAscend, nil, time.Duration(telemetry.Nanotime()-start))
+}
+
+// Search looks up k and returns its root node, or nil if k is absent.
+// This is SEARCH_SL.
+func (l *SkipList[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
+	if l.tel == nil {
+		return l.search(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpGet)
+	if !tok.Sampled() {
+		n := l.search(p, k)
+		l.tel.FinishOp(tok, telemetry.OpGet, nil)
+		return n
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n := l.search(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpGet, p, st)
+	return n
+}
+
+// Get looks up k and returns its value.
+func (l *SkipList[K, V]) Get(p *Proc, k K) (V, bool) {
+	if l.tel == nil {
+		return l.get(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpGet)
+	if !tok.Sampled() {
+		v, ok := l.get(p, k)
+		l.tel.FinishOp(tok, telemetry.OpGet, nil)
+		return v, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	v, ok := l.get(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpGet, p, st)
+	return v, ok
+}
+
+// Insert adds k with value v, building the new tower bottom-up. It returns
+// the root node and true on success, or the existing root and false if k
+// is already present. The insertion is linearized at the root node's
+// insertion C&S. This is INSERT_SL.
+func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
+	if l.tel == nil {
+		return l.insert(p, k, v)
+	}
+	tok := l.tel.StartOp(telemetry.OpInsert)
+	if !tok.Sampled() {
+		n, ok := l.insert(p, k, v)
+		l.tel.FinishOp(tok, telemetry.OpInsert, nil)
+		return n, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n, ok := l.insert(&pr, k, v)
+	finishSampled(l.tel, tok, telemetry.OpInsert, p, st)
+	return n, ok
+}
+
+// Delete removes k. It deletes the root node first (making the remaining
+// tower superfluous and linearizing the deletion when the root is marked),
+// then sweeps levels >= 2 to physically remove the rest of the tower.
+// This is DELETE_SL.
+func (l *SkipList[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
+	if l.tel == nil {
+		return l.remove(p, k)
+	}
+	tok := l.tel.StartOp(telemetry.OpDelete)
+	if !tok.Sampled() {
+		n, ok := l.remove(p, k)
+		l.tel.FinishOp(tok, telemetry.OpDelete, nil)
+		return n, ok
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	n, ok := l.remove(&pr, k)
+	finishSampled(l.tel, tok, telemetry.OpDelete, p, st)
+	return n, ok
+}
+
+// Ascend calls fn for each key/value in ascending order by walking level 1,
+// skipping marked roots. Weakly consistent under concurrency.
+func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
+	if l.tel == nil {
+		l.ascend(fn)
+		return
+	}
+	start := telemetry.Nanotime()
+	l.ascend(fn)
+	l.tel.RecordOp(telemetry.OpAscend, nil, time.Duration(telemetry.Nanotime()-start))
+}
+
+// AscendRange calls fn for keys in [from, to) in ascending order. It uses
+// the skip-list search to locate the start, then walks level 1.
+func (l *SkipList[K, V]) AscendRange(p *Proc, from, to K, fn func(k K, v V) bool) {
+	if l.tel == nil {
+		l.ascendRange(p, from, to, fn)
+		return
+	}
+	tok := l.tel.StartOp(telemetry.OpAscend)
+	if !tok.Sampled() {
+		l.ascendRange(p, from, to, fn)
+		l.tel.FinishOp(tok, telemetry.OpAscend, nil)
+		return
+	}
+	st := getScratch()
+	pr := telemetryProc(p, st)
+	l.ascendRange(&pr, from, to, fn)
+	finishSampled(l.tel, tok, telemetry.OpAscend, p, st)
+}

@@ -28,25 +28,108 @@ type OpStats struct {
 	AuxTraversals      uint64 // auxiliary-cell steps (Valois-style)
 }
 
+// Counter indexes the essential-step vocabulary. The order is the canonical
+// one shared by every consumer of OpStats: the telemetry layer's sharded
+// counters, the exporters' metric names, and OpStats accumulation itself all
+// use these indices, so a live metric and a benchmark counter cannot
+// diverge.
+type Counter int
+
+const (
+	CtrCASAttempts Counter = iota
+	CtrCASSuccesses
+	CtrBacklinkTraversals
+	CtrNextUpdates
+	CtrCurrUpdates
+	CtrHelpCalls
+	CtrRestarts
+	CtrAuxTraversals
+	// NumCounters is the size of the vocabulary.
+	NumCounters
+)
+
+// CounterNames gives each counter its canonical snake_case name, used
+// verbatim (plus a _total suffix) by the Prometheus and expvar exporters.
+var CounterNames = [NumCounters]string{
+	CtrCASAttempts:        "cas_attempts",
+	CtrCASSuccesses:       "cas_successes",
+	CtrBacklinkTraversals: "backlink_traversals",
+	CtrNextUpdates:        "next_updates",
+	CtrCurrUpdates:        "curr_updates",
+	CtrHelpCalls:          "help_calls",
+	CtrRestarts:           "restarts",
+	CtrAuxTraversals:      "aux_traversals",
+}
+
+// Vector is the array form of OpStats, indexed by Counter.
+type Vector [NumCounters]uint64
+
+// Vector returns the counters in canonical order.
+func (s *OpStats) Vector() Vector {
+	return Vector{
+		CtrCASAttempts:        s.CASAttempts,
+		CtrCASSuccesses:       s.CASSuccesses,
+		CtrBacklinkTraversals: s.BacklinkTraversals,
+		CtrNextUpdates:        s.NextUpdates,
+		CtrCurrUpdates:        s.CurrUpdates,
+		CtrHelpCalls:          s.HelpCalls,
+		CtrRestarts:           s.Restarts,
+		CtrAuxTraversals:      s.AuxTraversals,
+	}
+}
+
+// FromVector sets the counters from their canonical array form.
+func (s *OpStats) FromVector(v Vector) {
+	s.CASAttempts = v[CtrCASAttempts]
+	s.CASSuccesses = v[CtrCASSuccesses]
+	s.BacklinkTraversals = v[CtrBacklinkTraversals]
+	s.NextUpdates = v[CtrNextUpdates]
+	s.CurrUpdates = v[CtrCurrUpdates]
+	s.HelpCalls = v[CtrHelpCalls]
+	s.Restarts = v[CtrRestarts]
+	s.AuxTraversals = v[CtrAuxTraversals]
+}
+
+// AddVector accumulates v into s.
+func (s *OpStats) AddVector(v Vector) {
+	cur := s.Vector()
+	for i := range cur {
+		cur[i] += v[i]
+	}
+	s.FromVector(cur)
+}
+
+// Essential reports whether the counter is billed as an essential step by
+// the paper's amortized analysis (Section 3.4). CAS attempts, backlink
+// traversals and next/curr updates are the FR list's essential steps;
+// auxiliary-cell traversals are Valois's analogue. Help calls, restarts and
+// C&S successes are diagnostic only (restart work is billed through the
+// next/curr updates the restarted search performs).
+func (c Counter) Essential() bool {
+	switch c {
+	case CtrCASAttempts, CtrBacklinkTraversals, CtrNextUpdates,
+		CtrCurrUpdates, CtrAuxTraversals:
+		return true
+	default:
+		return false
+	}
+}
+
 // EssentialSteps returns the total billed step count: the quantity the
 // paper's amortized analysis bounds by O(n(S) + c(S)) for the FR list, and
 // the comparable total for the baselines.
 func (s *OpStats) EssentialSteps() uint64 {
-	return s.CASAttempts + s.BacklinkTraversals + s.NextUpdates +
-		s.CurrUpdates + s.AuxTraversals
+	var total uint64
+	for c, v := range s.Vector() {
+		if Counter(c).Essential() {
+			total += v
+		}
+	}
+	return total
 }
 
 // Add accumulates o into s.
-func (s *OpStats) Add(o *OpStats) {
-	s.CASAttempts += o.CASAttempts
-	s.CASSuccesses += o.CASSuccesses
-	s.BacklinkTraversals += o.BacklinkTraversals
-	s.NextUpdates += o.NextUpdates
-	s.CurrUpdates += o.CurrUpdates
-	s.HelpCalls += o.HelpCalls
-	s.Restarts += o.Restarts
-	s.AuxTraversals += o.AuxTraversals
-}
+func (s *OpStats) Add(o *OpStats) { s.AddVector(o.Vector()) }
 
 // Reset zeroes every counter.
 func (s *OpStats) Reset() { *s = OpStats{} }

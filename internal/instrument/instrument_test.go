@@ -1,6 +1,7 @@
 package instrument
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -69,6 +70,48 @@ func TestOpStatsAddIsLinearQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVectorCoversEveryField pins the canonical counter vocabulary to the
+// OpStats struct: every uint64 field must round-trip through Vector at a
+// distinct index with a distinct exporter name. Adding a field to OpStats
+// without extending the vocabulary fails here, which is what keeps live
+// telemetry and benchmark accounting from diverging.
+func TestVectorCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(OpStats{})
+	if typ.NumField() != int(NumCounters) {
+		t.Fatalf("OpStats has %d fields, vocabulary has %d counters",
+			typ.NumField(), NumCounters)
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		var s OpStats
+		reflect.ValueOf(&s).Elem().Field(i).SetUint(7)
+		v := s.Vector()
+		hits := 0
+		for _, x := range v {
+			if x == 7 {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("field %s appears %d times in Vector", typ.Field(i).Name, hits)
+		}
+		var back OpStats
+		back.FromVector(v)
+		if back != s {
+			t.Fatalf("field %s does not round-trip: %+v", typ.Field(i).Name, back)
+		}
+	}
+	seen := map[string]bool{}
+	for c, name := range CounterNames {
+		if name == "" {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate counter name %q", name)
+		}
+		seen[name] = true
 	}
 }
 

@@ -1,0 +1,29 @@
+// Package obshttp serves the observability endpoints shared by the
+// command-line tools: /metrics (Prometheus text exposition of every
+// registered lockfree/telemetry instance) and /debug/vars (the standard
+// expvar JSON dump).
+package obshttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+
+	ltel "repro/lockfree/telemetry"
+)
+
+// Serve binds addr (":0" picks a free port) and serves /metrics and
+// /debug/vars until stop is called. It returns the bound address so
+// callers can print a scrapeable URL.
+func Serve(addr string) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", ltel.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

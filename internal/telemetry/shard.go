@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/instrument"
+)
+
+// cacheLine is the assumed cache-line size. 64 bytes is correct for every
+// amd64/arm64 part this code will plausibly run on; being wrong only costs
+// a little false sharing, never correctness.
+const cacheLine = 64
+
+// shard is one stripe of the recorder's counters. Each shard ends with
+// cache-line padding so that two shards never share a line; within a shard
+// the fields are written together by the same flush, so they benefit from
+// sharing lines.
+type shard struct {
+	counters [instrument.NumCounters]atomic.Uint64
+	ops      [NumOps]opShard
+	_        [cacheLine]byte
+}
+
+// opShard holds one operation kind's count and histograms inside a shard.
+type opShard struct {
+	count      atomic.Uint64
+	latencySum atomic.Uint64
+	retrySum   atomic.Uint64
+	latency    [NumLatencyBuckets]atomic.Uint64
+	retries    [NumRetryBuckets]atomic.Uint64
+}
+
+// shardIndex returns a goroutine-affine hash used to pick a shard.
+//
+// Go offers no cheap public goroutine ID, so this hashes the address of a
+// stack variable: distinct goroutines occupy distinct stacks, giving a
+// stable-enough spread, and the cost is a couple of arithmetic ops. A
+// collision is harmless - two goroutines merely share a stripe. The
+// address is only hashed, never dereferenced or retained, so this use of
+// unsafe cannot outlive the frame.
+func shardIndex() uint32 {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	// Fibonacci hashing; stack addresses share low bits (alignment) and
+	// high bits (arena), the middle bits carry the per-goroutine entropy.
+	return uint32((p * 0x9E3779B97F4A7C15) >> 33)
+}

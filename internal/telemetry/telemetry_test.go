@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/instrument"
+)
+
+func TestLatencyBucketBoundaries(t *testing.T) {
+	// Exactly on a boundary lands in that bucket (le semantics); one
+	// nanosecond above moves to the next.
+	for i, ub := range LatencyBuckets {
+		if got := latencyBucket(ub); got != i {
+			t.Fatalf("latencyBucket(%v) = %d, want %d", ub, got, i)
+		}
+		if got := latencyBucket(ub + time.Nanosecond); got != i+1 {
+			t.Fatalf("latencyBucket(%v+1ns) = %d, want %d", ub, got, i+1)
+		}
+	}
+	if got := latencyBucket(0); got != 0 {
+		t.Fatalf("latencyBucket(0) = %d", got)
+	}
+	if got := latencyBucket(time.Hour); got != len(LatencyBuckets) {
+		t.Fatalf("latencyBucket(1h) = %d, want +Inf bucket %d", got, len(LatencyBuckets))
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("latency buckets not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestRetryBucketBoundaries(t *testing.T) {
+	for i, ub := range RetryBuckets {
+		if got := retryBucket(ub); got != i {
+			t.Fatalf("retryBucket(%d) = %d, want %d", ub, got, i)
+		}
+		if got := retryBucket(ub + 1); got != i+1 {
+			t.Fatalf("retryBucket(%d+1) = %d, want %d", ub, got, i+1)
+		}
+	}
+	if got := retryBucket(1 << 40); got != len(RetryBuckets) {
+		t.Fatalf("retryBucket(big) = %d, want +Inf bucket", got)
+	}
+}
+
+func TestRecordOpAccumulates(t *testing.T) {
+	r := NewRecorder(4)
+	st := instrument.OpStats{CASAttempts: 5, CASSuccesses: 2, BacklinkTraversals: 3,
+		NextUpdates: 7, CurrUpdates: 11, HelpCalls: 1}
+	r.RecordOp(OpInsert, &st, 3*time.Microsecond)
+	r.RecordOp(OpGet, nil, 100*time.Nanosecond)
+
+	s := r.Snapshot()
+	if s.Counters.CASAttempts != 5 || s.Counters.CASSuccesses != 2 ||
+		s.Counters.BacklinkTraversals != 3 || s.Counters.NextUpdates != 7 ||
+		s.Counters.CurrUpdates != 11 || s.Counters.HelpCalls != 1 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	ins := s.Ops[OpInsert]
+	if ins.Count != 1 || ins.LatencySumNanos != 3000 {
+		t.Fatalf("insert op snapshot: %+v", ins)
+	}
+	if ins.Latency[latencyBucket(3*time.Microsecond)] != 1 {
+		t.Fatalf("latency sample missing: %+v", ins.Latency)
+	}
+	// retries = 5 attempts - 2 successes = 3 -> bucket with bound 4.
+	if ins.Retries[retryBucket(3)] != 1 {
+		t.Fatalf("retry sample missing: %+v", ins.Retries)
+	}
+	if s.Ops[OpGet].Count != 1 {
+		t.Fatalf("get count: %+v", s.Ops[OpGet])
+	}
+	if got := s.TotalOps(); got != 2 {
+		t.Fatalf("TotalOps = %d", got)
+	}
+	// Essential steps: 5 + 3 + 7 + 11 = 26 over 2 ops.
+	if got := s.EssentialStepsPerOp(); got != 13 {
+		t.Fatalf("EssentialStepsPerOp = %v", got)
+	}
+}
+
+func TestDeltaMonotonicity(t *testing.T) {
+	r := NewRecorder(2)
+	var cumulative Snapshot
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10*(round+1); i++ {
+			st := instrument.OpStats{CASAttempts: 2, CASSuccesses: 1, CurrUpdates: 4}
+			r.RecordOp(OpDelete, &st, time.Duration(i)*time.Microsecond)
+		}
+		d := r.Delta()
+		// Every delta field must be non-negative by construction (uint64)
+		// and exactly the work done this round.
+		if want := uint64(10 * (round + 1)); d.Ops[OpDelete].Count != want {
+			t.Fatalf("round %d: delta count = %d, want %d", round, d.Ops[OpDelete].Count, want)
+		}
+		if d.Counters.CASAttempts != 2*uint64(10*(round+1)) {
+			t.Fatalf("round %d: delta CAS = %d", round, d.Counters.CASAttempts)
+		}
+		cumulative.Counters.Add(&d.Counters)
+		for op := range d.Ops {
+			cumulative.Ops[op].Count += d.Ops[op].Count
+			cumulative.Ops[op].LatencySumNanos += d.Ops[op].LatencySumNanos
+		}
+	}
+	// Deltas must tile the cumulative snapshot exactly.
+	s := r.Snapshot()
+	if s.Counters != cumulative.Counters {
+		t.Fatalf("deltas do not sum to snapshot: %+v vs %+v", cumulative.Counters, s.Counters)
+	}
+	if s.Ops[OpDelete].Count != cumulative.Ops[OpDelete].Count ||
+		s.Ops[OpDelete].LatencySumNanos != cumulative.Ops[OpDelete].LatencySumNanos {
+		t.Fatalf("op deltas do not sum to snapshot")
+	}
+	// A fresh Delta after no activity is all-zero.
+	if d := r.Delta(); d != (Snapshot{}) {
+		t.Fatalf("idle delta nonzero: %+v", d)
+	}
+}
+
+func TestSnapshotSubSaturates(t *testing.T) {
+	var a, b Snapshot
+	a.Counters.CASAttempts = 3
+	b.Counters.CASAttempts = 5
+	d := a.Sub(b)
+	if d.Counters.CASAttempts != 0 {
+		t.Fatalf("Sub must saturate at zero, got %d", d.Counters.CASAttempts)
+	}
+}
+
+func TestLatencyQuantile(t *testing.T) {
+	var o OpSnapshot
+	if _, ok := o.LatencyQuantile(0.5); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	// 90 samples in bucket 0 (<=250ns), 10 in bucket 2 (<=1us).
+	o.Latency[0] = 90
+	o.Latency[2] = 10
+	p50, ok := o.LatencyQuantile(0.50)
+	if !ok || p50 > LatencyBuckets[0] {
+		t.Fatalf("p50 = %v ok=%v, want <= %v", p50, ok, LatencyBuckets[0])
+	}
+	p99, ok := o.LatencyQuantile(0.99)
+	if !ok || p99 <= LatencyBuckets[1] || p99 > LatencyBuckets[2] {
+		t.Fatalf("p99 = %v, want in (%v, %v]", p99, LatencyBuckets[1], LatencyBuckets[2])
+	}
+	// All mass in +Inf reports the last finite bound.
+	var inf OpSnapshot
+	inf.Latency[NumLatencyBuckets-1] = 4
+	q, ok := inf.LatencyQuantile(0.5)
+	if !ok || q != LatencyBuckets[len(LatencyBuckets)-1] {
+		t.Fatalf("+Inf quantile = %v ok=%v", q, ok)
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	// The mean is over the sampled subset: 4 samples, 4000ns total, even
+	// though 64 ops completed.
+	o := OpSnapshot{Count: 64, LatencySumNanos: 4000}
+	o.Latency[0] = 3
+	o.Latency[2] = 1
+	if got := o.MeanLatency(); got != time.Microsecond {
+		t.Fatalf("MeanLatency = %v", got)
+	}
+	if got := o.LatencySamples(); got != 4 {
+		t.Fatalf("LatencySamples = %d", got)
+	}
+	if got := (OpSnapshot{}).MeanLatency(); got != 0 {
+		t.Fatalf("empty MeanLatency = %v", got)
+	}
+}
+
+func TestRecorderShardCount(t *testing.T) {
+	if got := NewRecorder(3).Shards(); got != 4 {
+		t.Fatalf("shards(3) = %d, want 4", got)
+	}
+	if got := NewRecorder(0).Shards(); got < 1 {
+		t.Fatalf("default shards = %d", got)
+	}
+	if got := NewRecorder(1 << 20).Shards(); got != 256 {
+		t.Fatalf("shards cap = %d", got)
+	}
+}
+
+// TestConcurrentRecordNoLostUpdates hammers one recorder from many
+// goroutines and checks the totals are exact: striping must never lose or
+// duplicate counts. Run under -race this also vouches for the unsafe
+// shard-index trick.
+func TestConcurrentRecordNoLostUpdates(t *testing.T) {
+	r := NewRecorder(8)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st := instrument.OpStats{CASAttempts: 1, CASSuccesses: 1, NextUpdates: 2}
+				r.RecordOp(Op(i%int(NumOps)), &st, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.TotalOps(); got != workers*perWorker {
+		t.Fatalf("TotalOps = %d, want %d", got, workers*perWorker)
+	}
+	if s.Counters.CASAttempts != workers*perWorker ||
+		s.Counters.NextUpdates != 2*workers*perWorker {
+		t.Fatalf("counters lost updates: %+v", s.Counters)
+	}
+	var latTotal uint64
+	for op := range s.Ops {
+		for _, c := range s.Ops[op].Latency {
+			latTotal += c
+		}
+	}
+	if latTotal != workers*perWorker {
+		t.Fatalf("latency samples = %d, want %d", latTotal, workers*perWorker)
+	}
+}
+
+// TestStartFinishSampling drives the hot-path token API serially on one
+// shard: counts and counters must be exact, histograms sampled exactly one
+// in SampleEvery.
+func TestStartFinishSampling(t *testing.T) {
+	r := NewRecorder(1)
+	if r.SampleEvery() != DefaultSampleEvery {
+		t.Fatalf("default SampleEvery = %d", r.SampleEvery())
+	}
+	const ops = 100
+	for i := 0; i < ops; i++ {
+		tok := r.StartOp(OpInsert)
+		st := instrument.OpStats{CASAttempts: 3, CASSuccesses: 1, CurrUpdates: 2}
+		r.FinishOp(tok, OpInsert, &st)
+	}
+	s := r.Snapshot()
+	ins := s.Ops[OpInsert]
+	if ins.Count != ops {
+		t.Fatalf("count = %d (must be exact under sampling)", ins.Count)
+	}
+	// 6 sampled ops (every 16th of 100), step counters scaled by 16:
+	// CASAttempts 6*3*16, CurrUpdates 6*2*16.
+	const sampled = ops / DefaultSampleEvery
+	if s.Counters.CASAttempts != 3*sampled*DefaultSampleEvery ||
+		s.Counters.CurrUpdates != 2*sampled*DefaultSampleEvery {
+		t.Fatalf("scaled counters wrong: %+v", s.Counters)
+	}
+	if got, want := ins.LatencySamples(), uint64(sampled); got != want {
+		t.Fatalf("latency samples = %d, want %d", got, want)
+	}
+	// Each sampled op had retries = 3-1 = 2 (histograms are per-sample,
+	// not scaled).
+	if got := ins.Retries[retryBucket(2)]; got != uint64(sampled) {
+		t.Fatalf("retry samples: %+v", ins.Retries)
+	}
+	if got := ins.RetrySum; got != 2*uint64(sampled) {
+		t.Fatalf("retry sum = %d", got)
+	}
+}
+
+// TestSetSampleEveryOne makes the token path record every op.
+func TestSetSampleEveryOne(t *testing.T) {
+	r := NewRecorder(1)
+	r.SetSampleEvery(1)
+	for i := 0; i < 10; i++ {
+		tok := r.StartOp(OpGet)
+		r.FinishOp(tok, OpGet, nil)
+	}
+	s := r.Snapshot()
+	if s.Ops[OpGet].LatencySamples() != 10 {
+		t.Fatalf("samples = %d, want 10", s.Ops[OpGet].LatencySamples())
+	}
+	// Rounding up to powers of two.
+	r.SetSampleEvery(5)
+	if r.SampleEvery() != 8 {
+		t.Fatalf("SetSampleEvery(5) -> %d, want 8", r.SampleEvery())
+	}
+}
+
+// TestConcurrentStartFinishNoLostUpdates is the token-path twin of
+// TestConcurrentRecordNoLostUpdates: counts exact, scaled counter
+// estimates internally consistent, sampled histogram totals bounded by the
+// op count.
+func TestConcurrentStartFinishNoLostUpdates(t *testing.T) {
+	r := NewRecorder(8)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				op := Op(i % int(NumOps))
+				tok := r.StartOp(op)
+				var st *instrument.OpStats
+				if tok.Sampled() {
+					st = &instrument.OpStats{CASAttempts: 1, CASSuccesses: 1, NextUpdates: 2}
+				}
+				r.FinishOp(tok, op, st)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.TotalOps(); got != workers*perWorker {
+		t.Fatalf("TotalOps = %d, want %d", got, workers*perWorker)
+	}
+	// Every sampled op contributed the same stats, so the scaled estimates
+	// must preserve the 1:2 CAS:NextUpdates ratio exactly and stay within
+	// the true totals.
+	if s.Counters.CASAttempts == 0 || s.Counters.NextUpdates != 2*s.Counters.CASAttempts {
+		t.Fatalf("scaled counters inconsistent: %+v", s.Counters)
+	}
+	if s.Counters.CASAttempts > workers*perWorker {
+		t.Fatalf("scaled estimate exceeds true total: %+v", s.Counters)
+	}
+	var latTotal uint64
+	for op := range s.Ops {
+		latTotal += s.Ops[op].LatencySamples()
+	}
+	if latTotal == 0 || latTotal > workers*perWorker {
+		t.Fatalf("latency samples = %d, want in (0, %d]", latTotal, workers*perWorker)
+	}
+}
+
+func TestNanotimeMonotone(t *testing.T) {
+	a := Nanotime()
+	b := Nanotime()
+	if b < a {
+		t.Fatalf("Nanotime went backwards: %d then %d", a, b)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("op %d name %q", op, s)
+		}
+		seen[s] = true
+	}
+	if NumOps.String() != "unknown" {
+		t.Fatal("out-of-range op must be unknown")
+	}
+}

@@ -6,9 +6,14 @@ import "repro/internal/core"
 // ordered by the given comparison function. compare must define a strict
 // total order consistent with ==: compare(a, b) == 0 iff a == b. Use this
 // for struct keys, reversed orders, or collations; NewList covers the
-// naturally ordered types.
-func NewListFunc[K comparable, V any](compare func(K, K) int) *ListFunc[K, V] {
-	return &ListFunc[K, V]{l: core.NewListFunc[K, V](compare)}
+// naturally ordered types. The only option that applies is WithTelemetry.
+func NewListFunc[K comparable, V any](compare func(K, K) int, opts ...Option) *ListFunc[K, V] {
+	cfg := applyConfig(opts)
+	l := core.NewListFunc[K, V](compare)
+	if cfg.tel != nil {
+		l.SetTelemetry(cfg.tel.Recorder())
+	}
+	return &ListFunc[K, V]{l: l}
 }
 
 // ListFunc is a List over a caller-supplied key ordering.
@@ -47,18 +52,12 @@ func (s *ListFunc[K, V]) Ascend(fn func(key K, value V) bool) { s.l.Ascend(fn) }
 // type, ordered by the given comparison function (see NewListFunc for the
 // contract). The PriorityQueue in this package is built on it.
 func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...Option) *SkipListFunc[K, V] {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
+	cfg := applyConfig(opts)
+	l := core.NewSkipListFunc[K, V](compare, cfg.coreSkipListOpts()...)
+	if cfg.tel != nil {
+		l.SetTelemetry(cfg.tel.Recorder())
 	}
-	var coreOpts []core.SkipListOption
-	if cfg.maxLevel != 0 {
-		coreOpts = append(coreOpts, core.WithMaxLevel(cfg.maxLevel))
-	}
-	if cfg.rng != nil {
-		coreOpts = append(coreOpts, core.WithRandomSource(cfg.rng))
-	}
-	return &SkipListFunc[K, V]{l: core.NewSkipListFunc[K, V](compare, coreOpts...)}
+	return &SkipListFunc[K, V]{l: l}
 }
 
 // SkipListFunc is a SkipList over a caller-supplied key ordering.

@@ -1,0 +1,101 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLenWithinInFlightBound pins the documented Len contract: "The value
+// is exact whenever no operations are in flight, and within the number of
+// in-flight operations otherwise."
+//
+// Each round starts from a quiescent state with a known exact count C and
+// launches W workers, each performing exactly one mutation on a distinct
+// key that is guaranteed to succeed (insert of an absent key, or delete of
+// a present key). While those W operations are in flight a sampler hammers
+// Len: every observation must stay within [C-D, C+I] where I and D are the
+// number of in-flight inserts and deletes. After the round joins, Len must
+// be exactly the new quiescent count and agree with Ascend.
+func TestLenWithinInFlightBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Map[int, int]
+	}{
+		{"list", func() Map[int, int] { return NewList[int, int]() }},
+		{"skiplist", func() Map[int, int] { return NewSkipList[int, int]() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mk()
+			const workers = 8
+			const rounds = 40
+
+			quiescent := 0 // exact key count between rounds
+			for round := 0; round < rounds; round++ {
+				inserting := round%2 == 0
+				lo, hi := quiescent-0, quiescent+workers // bound for this round
+				if !inserting {
+					lo, hi = quiescent-workers, quiescent
+				}
+
+				var start, done sync.WaitGroup
+				start.Add(1)
+				done.Add(workers)
+				for w := 0; w < workers; w++ {
+					key := round/2*workers + w // distinct key per worker
+					go func(key int) {
+						defer done.Done()
+						start.Wait()
+						if inserting {
+							if !m.Insert(key, key) {
+								t.Errorf("insert of fresh key %d failed", key)
+							}
+						} else {
+							if !m.Delete(key) {
+								t.Errorf("delete of present key %d failed", key)
+							}
+						}
+					}(key)
+				}
+
+				stop := make(chan struct{})
+				var samplerDone sync.WaitGroup
+				samplerDone.Add(1)
+				go func() {
+					defer samplerDone.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if n := m.Len(); n < lo || n > hi {
+							t.Errorf("round %d: Len = %d outside in-flight bound [%d, %d]",
+								round, n, lo, hi)
+							return
+						}
+					}
+				}()
+
+				start.Done() // release the workers
+				done.Wait()
+				close(stop)
+				samplerDone.Wait()
+
+				if inserting {
+					quiescent += workers
+				} else {
+					quiescent -= workers
+				}
+				// Quiescent: Len is exact and agrees with iteration.
+				if n := m.Len(); n != quiescent {
+					t.Fatalf("round %d: quiescent Len = %d, want %d", round, n, quiescent)
+				}
+				count := 0
+				m.Ascend(func(k, v int) bool { count++; return true })
+				if count != quiescent {
+					t.Fatalf("round %d: Ascend saw %d keys, Len says %d", round, count, quiescent)
+				}
+			}
+		})
+	}
+}

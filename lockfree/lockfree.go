@@ -26,6 +26,7 @@ import (
 	"cmp"
 
 	"repro/internal/core"
+	"repro/lockfree/telemetry"
 )
 
 // Map is the dictionary interface implemented by both List and SkipList.
@@ -60,9 +61,15 @@ type List[K cmp.Ordered, V any] struct {
 
 var _ Map[int, any] = (*List[int, any])(nil)
 
-// NewList returns an empty list dictionary.
-func NewList[K cmp.Ordered, V any]() *List[K, V] {
-	return &List[K, V]{l: core.NewList[K, V]()}
+// NewList returns an empty list dictionary. The only option that applies
+// is WithTelemetry.
+func NewList[K cmp.Ordered, V any](opts ...Option) *List[K, V] {
+	cfg := applyConfig(opts)
+	l := core.NewList[K, V]()
+	if cfg.tel != nil {
+		l.SetTelemetry(cfg.tel.Recorder())
+	}
+	return &List[K, V]{l: l}
 }
 
 // Insert adds key with value; false if key is already present.
@@ -100,12 +107,37 @@ type SkipList[K cmp.Ordered, V any] struct {
 
 var _ Map[int, any] = (*SkipList[int, any])(nil)
 
-// Option configures a SkipList.
+// Option configures a List, SkipList, or PriorityQueue at construction.
+// WithMaxLevel and WithRandomSource apply to the skip-list-based
+// structures only; WithTelemetry applies to all.
 type Option func(*config)
 
 type config struct {
 	maxLevel int
 	rng      func() uint64
+	tel      *telemetry.Telemetry
+}
+
+// coreSkipListOpts translates the config for the core skip-list
+// constructors.
+func (c *config) coreSkipListOpts() []core.SkipListOption {
+	var opts []core.SkipListOption
+	if c.maxLevel != 0 {
+		opts = append(opts, core.WithMaxLevel(c.maxLevel))
+	}
+	if c.rng != nil {
+		opts = append(opts, core.WithRandomSource(c.rng))
+	}
+	return opts
+}
+
+// applyConfig collects the options and returns the resolved config.
+func applyConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // WithMaxLevel caps tower heights at maxLevel-1 (head towers use
@@ -123,20 +155,25 @@ func WithRandomSource(rng func() uint64) Option {
 	return func(c *config) { c.rng = rng }
 }
 
+// WithTelemetry attaches live metrics to the structure: every operation
+// flushes its essential-step counts (the paper's Section 3.4 accounting)
+// plus one latency and one retry sample into t's sharded counters. Read
+// them with t.Snapshot()/t.Delta(), the Prometheus handler, or expvar; see
+// package repro/lockfree/telemetry. Attaching the same Telemetry to
+// several structures sums their metrics. Without this option the structure
+// records nothing and pays one nil-check branch per operation.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(c *config) { c.tel = t }
+}
+
 // NewSkipList returns an empty skip-list dictionary.
 func NewSkipList[K cmp.Ordered, V any](opts ...Option) *SkipList[K, V] {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
+	cfg := applyConfig(opts)
+	l := core.NewSkipList[K, V](cfg.coreSkipListOpts()...)
+	if cfg.tel != nil {
+		l.SetTelemetry(cfg.tel.Recorder())
 	}
-	var coreOpts []core.SkipListOption
-	if cfg.maxLevel != 0 {
-		coreOpts = append(coreOpts, core.WithMaxLevel(cfg.maxLevel))
-	}
-	if cfg.rng != nil {
-		coreOpts = append(coreOpts, core.WithRandomSource(cfg.rng))
-	}
-	return &SkipList[K, V]{l: core.NewSkipList[K, V](coreOpts...)}
+	return &SkipList[K, V]{l: l}
 }
 
 // Insert adds key with value; false if key is already present.

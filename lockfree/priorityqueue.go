@@ -34,20 +34,12 @@ func comparePQKey[P cmp.Ordered](a, b pqKey[P]) int {
 // NewPriorityQueue returns an empty queue. Options configure the
 // underlying skip list.
 func NewPriorityQueue[P cmp.Ordered, V any](opts ...Option) *PriorityQueue[P, V] {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
+	cfg := applyConfig(opts)
+	sl := core.NewSkipListFunc[pqKey[P], V](comparePQKey[P], cfg.coreSkipListOpts()...)
+	if cfg.tel != nil {
+		sl.SetTelemetry(cfg.tel.Recorder())
 	}
-	var coreOpts []core.SkipListOption
-	if cfg.maxLevel != 0 {
-		coreOpts = append(coreOpts, core.WithMaxLevel(cfg.maxLevel))
-	}
-	if cfg.rng != nil {
-		coreOpts = append(coreOpts, core.WithRandomSource(cfg.rng))
-	}
-	return &PriorityQueue[P, V]{
-		sl: core.NewSkipListFunc[pqKey[P], V](comparePQKey[P], coreOpts...),
-	}
+	return &PriorityQueue[P, V]{sl: sl}
 }
 
 // Push inserts value with the given priority.

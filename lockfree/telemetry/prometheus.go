@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	itel "repro/internal/telemetry"
+)
+
+// Prometheus text exposition. Every metric carries a structure="<name>"
+// label; deterministic ordering (counters in the canonical vocabulary
+// order, then per-op series, instances sorted by name) keeps the output
+// diff-able and golden-testable.
+//
+// Counter metrics map one-to-one onto the paper's Section 3.4 accounting:
+//
+//	lockfree_cas_attempts_total        C&S attempts (essential step)
+//	lockfree_cas_successes_total       C&S that changed shared state
+//	lockfree_backlink_traversals_total backlink steps (essential step)
+//	lockfree_next_updates_total        next_node updates (essential step)
+//	lockfree_curr_updates_total        curr_node advances (essential step)
+//	lockfree_help_calls_total          helping-routine invocations
+//	lockfree_restarts_total            restart-from-head events (baselines)
+//	lockfree_aux_traversals_total      auxiliary-cell steps (baselines)
+//
+// plus per-operation series labeled op="insert"|"get"|"delete"|"ascend":
+//
+//	lockfree_ops_total                 completed operations
+//	lockfree_op_latency_seconds        latency histogram
+//	lockfree_op_retries                failed-C&S-per-operation histogram
+
+// counterHelp documents each counter for the # HELP line, keyed by the
+// canonical vocabulary index.
+var counterHelp = [itel.NumCounters]string{
+	"Total C&S attempts, successful or not (essential step, paper S3.4).",
+	"Total C&S that changed shared state.",
+	"Total backlink pointer traversals during recovery (essential step, paper S3.4).",
+	"Total next_node pointer updates inside searches (essential step, paper S3.4).",
+	"Total curr_node pointer advances inside searches (essential step, paper S3.4).",
+	"Total helping-routine invocations (HelpFlagged/HelpMarked).",
+	"Total restart-from-head events (Harris-style baselines; 0 for FR structures).",
+	"Total auxiliary-cell traversals (Valois-style baselines; 0 for FR structures).",
+}
+
+// WriteMetrics writes the Prometheus text exposition of the given
+// instances to w in deterministic order.
+func WriteMetrics(w io.Writer, instances ...*Telemetry) error {
+	type inst struct {
+		name string
+		snap Snapshot
+	}
+	snaps := make([]inst, 0, len(instances))
+	for _, t := range instances {
+		snaps = append(snaps, inst{t.name, t.Snapshot()})
+	}
+
+	bw := &errWriter{w: w}
+
+	// Essential-step and diagnostic counters.
+	for c := 0; c < itel.NumCounters; c++ {
+		name := "lockfree_" + itel.CounterName(c) + "_total"
+		bw.printf("# HELP %s %s\n", name, counterHelp[c])
+		bw.printf("# TYPE %s counter\n", name)
+		for _, in := range snaps {
+			bw.printf("%s{structure=%q} %d\n", name, in.name, in.snap.Counters.Vector()[c])
+		}
+	}
+
+	// Operation counts.
+	bw.printf("# HELP lockfree_ops_total Completed operations by kind.\n")
+	bw.printf("# TYPE lockfree_ops_total counter\n")
+	for _, in := range snaps {
+		for op := Op(0); op < NumOps; op++ {
+			bw.printf("lockfree_ops_total{structure=%q,op=%q} %d\n",
+				in.name, op.String(), in.snap.Ops[op].Count)
+		}
+	}
+
+	// Latency histogram.
+	bw.printf("# HELP lockfree_op_latency_seconds Operation wall-clock latency by kind.\n")
+	bw.printf("# TYPE lockfree_op_latency_seconds histogram\n")
+	for _, in := range snaps {
+		for op := Op(0); op < NumOps; op++ {
+			o := in.snap.Ops[op]
+			var cum uint64
+			for b, count := range o.Latency {
+				cum += count
+				le := "+Inf"
+				if b < len(itel.LatencyBuckets) {
+					le = formatFloat(itel.LatencyBuckets[b].Seconds())
+				}
+				bw.printf("lockfree_op_latency_seconds_bucket{structure=%q,op=%q,le=%q} %d\n",
+					in.name, op.String(), le, cum)
+			}
+			bw.printf("lockfree_op_latency_seconds_sum{structure=%q,op=%q} %s\n",
+				in.name, op.String(), formatFloat(float64(o.LatencySumNanos)/1e9))
+			// _count is the number of sampled operations (== the +Inf
+			// bucket), which may be fewer than lockfree_ops_total when the
+			// recorder samples histograms.
+			bw.printf("lockfree_op_latency_seconds_count{structure=%q,op=%q} %d\n",
+				in.name, op.String(), o.LatencySamples())
+		}
+	}
+
+	// Retry (failed C&S per operation) histogram.
+	bw.printf("# HELP lockfree_op_retries Failed C&S attempts per operation by kind (contention).\n")
+	bw.printf("# TYPE lockfree_op_retries histogram\n")
+	for _, in := range snaps {
+		for op := Op(0); op < NumOps; op++ {
+			o := in.snap.Ops[op]
+			var cum uint64
+			for b, count := range o.Retries {
+				cum += count
+				le := "+Inf"
+				if b < len(itel.RetryBuckets) {
+					le = strconv.FormatUint(itel.RetryBuckets[b], 10)
+				}
+				bw.printf("lockfree_op_retries_bucket{structure=%q,op=%q,le=%q} %d\n",
+					in.name, op.String(), le, cum)
+			}
+			bw.printf("lockfree_op_retries_sum{structure=%q,op=%q} %d\n",
+				in.name, op.String(), o.RetrySum)
+			bw.printf("lockfree_op_retries_count{structure=%q,op=%q} %d\n",
+				in.name, op.String(), o.RetrySamples())
+		}
+	}
+	return bw.err
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// errWriter latches the first write error so the renderer stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Handler returns an http.Handler serving the Prometheus text exposition
+// of every registered Telemetry instance. Mount it wherever the deployment
+// scrapes, e.g. http.Handle("/metrics", telemetry.Handler()).
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, registered()...)
+	})
+}
+
+// Handler returns an http.Handler serving this instance only.
+func (t *Telemetry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, t)
+	})
+}
+
+func serveMetrics(w http.ResponseWriter, instances ...*Telemetry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteMetrics(w, instances...); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

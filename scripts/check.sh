@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh - the full local gate, mirroring what CI would run:
+#
+#   1. go vet over every package,
+#   2. the tier-1 gate (build + tests, as recorded in ROADMAP.md),
+#   3. the test suite again under the race detector.
+#
+# Usage: scripts/check.sh  (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== tier-1: go build ./... && go test ./... =="
+go build ./...
+go test ./...
+
+echo "== race: go test -race ./... =="
+go test -race ./...
+
+echo "check: all gates passed"
