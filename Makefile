@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md "Development" for details.
 
-.PHONY: check test vet race bench-json
+.PHONY: check test vet race bench-json benchdiff
 
 # The full local gate: vet + tier-1 (build, test) + race detector.
 check:
@@ -18,3 +18,8 @@ race:
 # Run the instrumented throughput stage and write BENCH_lflbench.json.
 bench-json:
 	go run ./cmd/lflbench -exp bench
+
+# Perf gate: tier-1 microbenchmarks on HEAD vs the merge base, failing on
+# a >5% mean ns/op regression. See scripts/benchdiff.sh for knobs.
+benchdiff:
+	scripts/benchdiff.sh

@@ -24,9 +24,10 @@ func serveTelemetry(addr string) (stop func(), bound string, err error) {
 // The "bench" stage is the machine-readable counterpart of the experiment
 // tables: it drives the primary structures with telemetry attached at
 // sampling period 1 (exact recording) and emits BENCH_lflbench.json with
-// ops/sec, essential steps per operation, the full counter vector, and
-// latency quantiles taken from the live histograms — the same numbers a
-// production scrape of /metrics would see.
+// ops/sec, essential steps per operation, allocs/op and bytes/op over the
+// measured window, the full counter vector, and latency quantiles taken
+// from the live histograms — the same numbers a production scrape of
+// /metrics would see.
 
 // benchJSON is the file schema.
 type benchJSON struct {
@@ -44,8 +45,17 @@ type benchRow struct {
 	Ops                 int                  `json:"ops"`
 	OpsPerSec           float64              `json:"ops_per_sec"`
 	EssentialStepsPerOp float64              `json:"essential_steps_per_op"`
-	Counters            map[string]uint64    `json:"counters"`
-	Latency             map[string]latencyNS `json:"latency"`
+	// AllocsPerOp/BytesPerOp are heap deltas (runtime.MemStats Mallocs /
+	// TotalAlloc) over the measured window divided by completed ops, so
+	// the perf trajectory records memory as well as throughput. They
+	// include the harness's own small constant overhead (goroutine wind-
+	// down, snapshot plumbing), which is why steady-state values sit near
+	// zero rather than at it; the hard 0-alloc guarantees are pinned by
+	// TestAllocs* in internal/core.
+	AllocsPerOp float64              `json:"allocs_per_op"`
+	BytesPerOp  float64              `json:"bytes_per_op"`
+	Counters    map[string]uint64    `json:"counters"`
+	Latency     map[string]latencyNS `json:"latency"`
 }
 
 type latencyNS struct {
@@ -108,8 +118,8 @@ func runBenchJSON(path string, quick bool) (string, error) {
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s, range=%d, ops=%d) ==\n",
 		workload.Balanced, keyRange, ops)
-	text += fmt.Sprintf("%-12s %8s %10s %14s %12s %12s\n",
-		"impl", "threads", "Mops/s", "ess.steps/op", "get p50", "get p99")
+	text += fmt.Sprintf("%-12s %8s %10s %14s %10s %10s %12s %12s\n",
+		"impl", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
 	for _, impl := range impls {
 		// Lists walk every node: keep the full range but trim ops so the
 		// fr-list rows finish in comparable time.
@@ -124,8 +134,9 @@ func runBenchJSON(path string, quick bool) (string, error) {
 			}
 			out.Benchmarks = append(out.Benchmarks, row)
 			g := row.Latency["get"]
-			text += fmt.Sprintf("%-12s %8d %10.3f %14.1f %12s %12s\n",
+			text += fmt.Sprintf("%-12s %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
 				impl, th, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
+				row.AllocsPerOp, row.BytesPerOp,
 				time.Duration(g.P50NS), time.Duration(g.P99NS))
 		}
 	}
@@ -158,14 +169,15 @@ func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
 	perThread := ops / threads
 	start := make(chan struct{})
 	var wg sync.WaitGroup
-	begin := time.Now()
 	for t := 0; t < threads; t++ {
+		// Generators are built before the measured window opens so their
+		// allocations stay out of the allocs/op accounting.
+		gen := workload.NewGenerator(workload.Config{
+			Mix: workload.Balanced, Dist: workload.Uniform, Range: keyRange, Seed: 11,
+		}, t)
 		wg.Add(1)
-		go func(t int) {
+		go func(gen *workload.Generator) {
 			defer wg.Done()
-			gen := workload.NewGenerator(workload.Config{
-				Mix: workload.Balanced, Dist: workload.Uniform, Range: keyRange, Seed: 11,
-			}, t)
 			<-start
 			for i := 0; i < perThread; i++ {
 				op := gen.Next()
@@ -178,11 +190,16 @@ func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
 					d.contains(op.Key)
 				}
 			}
-		}(t)
+		}(gen)
 	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	begin := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(begin)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 
 	s := tel.Delta()
 	row := benchRow{
@@ -193,6 +210,8 @@ func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
 		Ops:                 perThread * threads,
 		OpsPerSec:           float64(perThread*threads) / elapsed.Seconds(),
 		EssentialStepsPerOp: s.EssentialStepsPerOp(),
+		AllocsPerOp:         float64(m1.Mallocs-m0.Mallocs) / float64(perThread*threads),
+		BytesPerOp:          float64(m1.TotalAlloc-m0.TotalAlloc) / float64(perThread*threads),
 		Counters:            map[string]uint64{},
 		Latency:             map[string]latencyNS{},
 	}

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// These white-box tests pin the interning property itself: every record
+// installed in a successor field is the identical interned record of the
+// node it points at, so CAS identity comparison coincides with the paper's
+// structural comparison on (right, marked, flagged) triples. They also
+// document - deliberately - that a successor field can revisit a prior
+// record (benign ABA); DESIGN.md §2.1 explains why the algorithms tolerate
+// exactly that, and internal/adversary exercises the schedules.
+
+func TestInternedRecordIdentityList(t *testing.T) {
+	l := NewList[int, int]()
+	l.Insert(nil, 10, 10)
+	l.Insert(nil, 30, 30)
+	n10 := l.Search(nil, 10)
+	n30 := l.Search(nil, 30)
+	if got := n10.loadSucc(); got != n30.asClean() {
+		t.Fatalf("10.succ = %p, want 30's interned clean record %p", got, n30.asClean())
+	}
+	if got := l.head.loadSucc(); got != n10.asClean() {
+		t.Fatalf("head.succ is not 10's interned clean record")
+	}
+	if _, ok := l.Delete(nil, 30); !ok {
+		t.Fatal("delete of 30 failed")
+	}
+	// The deleted node's successor field froze on the tail's interned
+	// marked record; 10 now points at the tail through its interned clean
+	// record.
+	if got := n30.loadSucc(); got != l.tail.asMarked() {
+		t.Fatalf("deleted 30.succ = %+v, want tail's interned marked record", got)
+	}
+	if got := n10.loadSucc(); got != l.tail.asClean() {
+		t.Fatalf("10.succ = %+v, want tail's interned clean record", got)
+	}
+}
+
+// TestInternedABARestoresIdenticalRecord shows the ABA the interning
+// introduces on purpose: after insert(20)+delete(20) between 10 and 30,
+// node 10's successor field holds the *pointer-identical* record it held
+// before, so a C&S delayed across both operations succeeds - exactly the
+// semantics of the paper's tagged successor word.
+func TestInternedABARestoresIdenticalRecord(t *testing.T) {
+	l := NewList[int, int]()
+	l.Insert(nil, 10, 10)
+	l.Insert(nil, 30, 30)
+	n10 := l.Search(nil, 10)
+	before := n10.loadSucc()
+	l.Insert(nil, 20, 20)
+	if after := n10.loadSucc(); after == before {
+		t.Fatal("insert of 20 did not change 10's successor record")
+	}
+	l.Delete(nil, 20)
+	if after := n10.loadSucc(); after != before {
+		t.Fatalf("10.succ = %p after insert+delete, want the identical interned record %p", after, before)
+	}
+}
+
+func TestInternedRecordIdentitySkipList(t *testing.T) {
+	l := NewSkipList[int, int](WithRandomSource(zeroRng))
+	l.Insert(nil, 10, 10)
+	l.Insert(nil, 30, 30)
+	n10 := l.Search(nil, 10)
+	n30 := l.Search(nil, 30)
+	if got := n10.loadSucc(); got != n30.asClean() {
+		t.Fatalf("10.succ = %p, want 30's interned clean record %p", got, n30.asClean())
+	}
+	before := n10.loadSucc()
+	l.Insert(nil, 20, 20)
+	l.Delete(nil, 20)
+	if after := n10.loadSucc(); after != before {
+		t.Fatalf("skip-list 10.succ not restored to the identical interned record after insert+delete")
+	}
+	if _, ok := l.Delete(nil, 30); !ok {
+		t.Fatal("delete of 30 failed")
+	}
+	if got := n30.loadSucc(); got != l.tails[0].asMarked() {
+		t.Fatalf("deleted 30.succ = %+v, want level-1 tail's interned marked record", got)
+	}
+}

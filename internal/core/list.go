@@ -2,8 +2,8 @@ package core
 
 import (
 	"cmp"
-	"sync/atomic"
 
+	"repro/internal/instrument"
 	"repro/internal/telemetry"
 )
 
@@ -15,14 +15,26 @@ import (
 //
 // The zero value is not usable; construct with NewList.
 type List[K comparable, V any] struct {
+	// The fields above the pad are written once at construction and
+	// read-only afterwards: they share cache lines safely.
 	head    *Node[K, V]
 	tail    *Node[K, V]
 	compare func(K, K) int
-	size    atomic.Int64
 	// tel, when non-nil, receives one RecordOp flush per completed
 	// operation (see telemetry.go). Set before the list is shared.
 	tel *telemetry.Recorder
+
+	// _ keeps the read-mostly header off whatever line the allocator
+	// places after it (and off size's shard slice header); size itself
+	// stripes its writes across padded per-P shards, so Len maintenance
+	// no longer serializes concurrent writers on one cache line.
+	_    [cacheLinePad]byte
+	size instrument.ShardedInt64
 }
+
+// cacheLinePad separates read-mostly struct headers from mutable state.
+// 64 bytes is the line size of every amd64/arm64 part this will run on.
+const cacheLinePad = 64
 
 // NewList returns an empty list over a naturally ordered key type.
 func NewList[K cmp.Ordered, V any]() *List[K, V] {
@@ -34,12 +46,13 @@ func NewList[K cmp.Ordered, V any]() *List[K, V] {
 // a<b, a==b, a>b) and be consistent with ==: compare(a,b)==0 iff a == b.
 func NewListFunc[K comparable, V any](compare func(K, K) int) *List[K, V] {
 	l := &List[K, V]{
-		head:    &Node[K, V]{kind: kindHead},
-		tail:    &Node[K, V]{kind: kindTail},
+		head:    makeSentinel[K, V](kindHead),
+		tail:    makeSentinel[K, V](kindTail),
 		compare: compare,
 	}
-	l.head.succ.Store(&succ[K, V]{right: l.tail})
-	l.tail.succ.Store(&succ[K, V]{right: nil})
+	l.head.succ.Store(l.tail.asClean())
+	l.tail.succ.Store(&succ[K, V]{right: nil}) // the one record no node interns
+	l.size.Init()
 	return l
 }
 
@@ -66,8 +79,10 @@ func (l *List[K, V]) nodeLeq(n *Node[K, V], k K, strict bool) bool {
 }
 
 // Len returns the number of keys in the list. The count is maintained at
-// linearization points (insertion C&S, marking C&S), so it is exact in any
-// quiescent state and within the number of in-flight operations otherwise.
+// linearization points (insertion C&S, marking C&S) on a sharded counter,
+// so it is exact in any quiescent state and within the number of in-flight
+// operations otherwise (each in-flight delta lands in exactly one shard
+// and the sum reads every shard once).
 func (l *List[K, V]) Len() int { return int(l.size.Load()) }
 
 // Head returns the head sentinel; used by invariant checkers and the skip
@@ -105,7 +120,7 @@ func (l *List[K, V]) insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 	if l.cmpNode(prev, k) == 0 { // duplicate key
 		return prev, false
 	}
-	newNode := &Node[K, V]{key: k, val: v}
+	newNode := makeNode(k, v)
 	for {
 		prevSucc := prev.loadSucc()
 		if prevSucc.flagged {
@@ -114,12 +129,13 @@ func (l *List[K, V]) insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 			l.helpFlagged(p, prev, prevSucc.right)
 		} else if !prevSucc.marked && prevSucc.right == next {
 			// Insertion attempt (Insert lines 10-11). The paper's C&S
-			// expects (next_node, 0, 0); with successor records the
-			// equivalent is CASing the exact unmarked, unflagged record
-			// whose right pointer is next.
-			newNode.succ.Store(&succ[K, V]{right: next})
+			// expects (next_node, 0, 0); with interned records that is
+			// exactly next's clean record, and re-pointing newNode at
+			// next on a retry is a plain store of next's interned
+			// record - no allocation per attempt.
+			newNode.succ.Store(next.asClean())
 			p.At(PtBeforeInsertCAS)
-			ok := prev.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: newNode})
+			ok := prev.succ.CompareAndSwap(prevSucc, newNode.asClean())
 			st.IncCAS(ok)
 			if ok {
 				l.size.Add(1)
@@ -222,7 +238,7 @@ func (l *List[K, V]) helpMarked(p *Proc, prevNode, delNode *Node[K, V]) {
 		return // someone already completed (or the state moved on)
 	}
 	p.At(PtBeforePhysicalCAS)
-	ok := prevNode.succ.CompareAndSwap(prevSucc, &succ[K, V]{right: next})
+	ok := prevNode.succ.CompareAndSwap(prevSucc, next.asClean())
 	p.StatsOrNil().IncCAS(ok)
 	if ok {
 		// The winning C&S is the unique moment delNode leaves the list:
@@ -259,7 +275,7 @@ func (l *List[K, V]) tryMark(p *Proc, delNode *Node[K, V]) {
 			continue
 		}
 		p.At(PtBeforeMarkCAS)
-		ok := delNode.succ.CompareAndSwap(s, &succ[K, V]{right: s.right, marked: true})
+		ok := delNode.succ.CompareAndSwap(s, s.right.asMarked())
 		st.IncCAS(ok)
 		if ok {
 			l.size.Add(-1) // linearization point of the deletion
@@ -284,8 +300,7 @@ func (l *List[K, V]) tryFlag(p *Proc, prev, target *Node[K, V]) (*Node[K, V], bo
 		}
 		if prevSucc.right == target && !prevSucc.marked && !prevSucc.flagged {
 			p.At(PtBeforeFlagCAS)
-			ok := prev.succ.CompareAndSwap(prevSucc,
-				&succ[K, V]{right: target, flagged: true})
+			ok := prev.succ.CompareAndSwap(prevSucc, target.asFlagged())
 			st.IncCAS(ok)
 			if ok {
 				return prev, true // successful flagging (lines 5-6)

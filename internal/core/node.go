@@ -12,7 +12,18 @@
 // successor record swapped with a single-word CAS on an atomic.Pointer.
 // A record is never mutated after publication, so the paper's central
 // invariant - a marked successor field never changes - holds by
-// construction, and the garbage collector rules out ABA.
+// construction.
+//
+// Records are interned: every node carries the three records that can ever
+// point at it - clean {right: n}, flagged {right: n, flagged} and marked
+// {right: n, marked} - built once, inside the node's own allocation. Each
+// C&S site installs the target node's interned record instead of
+// allocating a fresh one, so the steady-state hot path (Search, Delete,
+// failed Insert retries) performs zero heap allocations. Because the
+// (right, marked, flagged) triple determines the record pointer uniquely,
+// CAS identity comparison on interned records is exactly the paper's
+// structural comparison on its tagged successor word; see DESIGN.md §2.1
+// for the ABA argument this relies on.
 package core
 
 import (
@@ -31,12 +42,22 @@ const (
 )
 
 // succ is the paper's composite successor field: (right, mark, flag).
-// Records are immutable; every successful C&S installs a fresh record.
+// Records are immutable after publication; every record that points at a
+// live node is one of that node's three interned records (see Node.refs),
+// so installing one is allocation-free.
 type succ[K comparable, V any] struct {
 	right   *Node[K, V]
 	marked  bool
 	flagged bool
 }
+
+// Indices into a node's interned record array.
+const (
+	refClean   = iota // {right: n}
+	refFlagged        // {right: n, flagged: true}
+	refMarked         // {right: n, marked: true}
+	numRefs
+)
 
 // Node is a single cell of the lock-free linked list. Key and value are
 // fixed at creation; succ and backlink are the only mutable fields.
@@ -47,6 +68,49 @@ type Node[K comparable, V any] struct {
 
 	succ     atomic.Pointer[succ[K, V]]
 	backlink atomic.Pointer[Node[K, V]]
+
+	// refs holds the node's interned successor records: the only records
+	// whose right pointer is this node. They are written once by intern,
+	// before the node is published, and immutable afterwards. Embedding
+	// them costs 3 records (48 bytes) inside the node's single allocation
+	// and buys zero-allocation C&S everywhere.
+	refs [numRefs]succ[K, V]
+}
+
+// intern builds the node's interned successor records. It must run exactly
+// once, after allocation and before the node is reachable by any other
+// goroutine; every constructor below and in skiplist.go does so.
+func (n *Node[K, V]) intern() {
+	n.refs[refClean] = succ[K, V]{right: n}
+	n.refs[refFlagged] = succ[K, V]{right: n, flagged: true}
+	n.refs[refMarked] = succ[K, V]{right: n, marked: true}
+}
+
+// asClean returns the interned record (n, unmarked, unflagged): "successor
+// is n". This is the interning API used by every C&S site; the returned
+// record must never be mutated.
+func (n *Node[K, V]) asClean() *succ[K, V] { return &n.refs[refClean] }
+
+// asFlagged returns the interned record (n, unmarked, flagged): "successor
+// is n and n is being deleted".
+func (n *Node[K, V]) asFlagged() *succ[K, V] { return &n.refs[refFlagged] }
+
+// asMarked returns the interned record (n, marked, unflagged): "successor
+// is n and the holder is logically deleted".
+func (n *Node[K, V]) asMarked() *succ[K, V] { return &n.refs[refMarked] }
+
+// makeNode allocates and interns an interior node in one heap allocation.
+func makeNode[K comparable, V any](key K, val V) *Node[K, V] {
+	n := &Node[K, V]{key: key, val: val}
+	n.intern()
+	return n
+}
+
+// makeSentinel allocates and interns a head or tail sentinel.
+func makeSentinel[K comparable, V any](kind nodeKind) *Node[K, V] {
+	n := &Node[K, V]{kind: kind}
+	n.intern()
+	return n
 }
 
 // Key returns the node's key. Calling Key on a sentinel is invalid; the

@@ -22,7 +22,7 @@ func (l *SkipList[K, V]) slHelpMarked(p *Proc, prevNode, delNode *SLNode[K, V]) 
 		return
 	}
 	p.At(PtBeforePhysicalCAS)
-	ok := prevNode.succ.CompareAndSwap(prevSucc, &slSucc[K, V]{right: next})
+	ok := prevNode.succ.CompareAndSwap(prevSucc, next.asClean())
 	p.StatsOrNil().IncCAS(ok)
 	if ok {
 		// Unique removal point of delNode from its level; reclamation
@@ -60,7 +60,7 @@ func (l *SkipList[K, V]) slTryMark(p *Proc, delNode *SLNode[K, V]) {
 			continue
 		}
 		p.At(PtBeforeMarkCAS)
-		ok := delNode.succ.CompareAndSwap(s, &slSucc[K, V]{right: s.right, marked: true})
+		ok := delNode.succ.CompareAndSwap(s, s.right.asMarked())
 		st.IncCAS(ok)
 		if ok {
 			if delNode.isRoot() {
@@ -88,8 +88,7 @@ func (l *SkipList[K, V]) tryFlagNode(p *Proc, prev, target *SLNode[K, V]) (*SLNo
 		}
 		if prevSucc.right == target && !prevSucc.marked && !prevSucc.flagged {
 			p.At(PtBeforeFlagCAS)
-			ok := prev.succ.CompareAndSwap(prevSucc,
-				&slSucc[K, V]{right: target, flagged: true})
+			ok := prev.succ.CompareAndSwap(prevSucc, target.asFlagged())
 			st.IncCAS(ok)
 			if ok {
 				return prev, flagStatusIn, true
@@ -129,9 +128,11 @@ func (l *SkipList[K, V]) insertNode(p *Proc, newNode, prev, next *SLNode[K, V]) 
 		if prevSucc.flagged {
 			l.slHelpFlagged(p, prev, prevSucc.right)
 		} else if !prevSucc.marked && prevSucc.right == next {
-			newNode.succ.Store(&slSucc[K, V]{right: next})
+			// Re-pointing newNode at next is a plain store of next's
+			// interned record: failed C&S retries allocate nothing.
+			newNode.succ.Store(next.asClean())
 			p.At(PtBeforeInsertCAS)
-			ok := prev.succ.CompareAndSwap(prevSucc, &slSucc[K, V]{right: newNode})
+			ok := prev.succ.CompareAndSwap(prevSucc, newNode.asClean())
 			st.IncCAS(ok)
 			if ok {
 				if newNode.isRoot() {

@@ -4,8 +4,8 @@ import (
 	"cmp"
 	"math/bits"
 	"math/rand/v2"
-	"sync/atomic"
 
+	"repro/internal/instrument"
 	"repro/internal/telemetry"
 )
 
@@ -25,15 +25,21 @@ const DefaultMaxLevel = 32
 // All methods are safe for concurrent use and the implementation is
 // lock-free. Construct with NewSkipList.
 type SkipList[K comparable, V any] struct {
+	// The fields above the pad are written once at construction and
+	// read-only afterwards: they share cache lines safely.
 	compare  func(K, K) int
 	maxLevel int
 	heads    []*SLNode[K, V] // head tower, index 0 = level 1
 	tails    []*SLNode[K, V] // tail tower, index 0 = level 1
 	rng      func() uint64   // thread-safe source of random bits
-	size     atomic.Int64
 	// tel, when non-nil, receives one RecordOp flush per completed
 	// operation (see telemetry.go). Set before the skip list is shared.
 	tel *telemetry.Recorder
+
+	// _ keeps the read-mostly header above off mutable lines; size stripes
+	// its writes across padded per-P shards (see List.size).
+	_    [cacheLinePad]byte
+	size instrument.ShardedInt64
 }
 
 // SkipListOption configures a SkipList.
@@ -84,12 +90,14 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 	for i := 0; i < cfg.maxLevel; i++ {
 		l.heads[i] = &SLNode[K, V]{kind: kindHead, level: i + 1}
 		l.tails[i] = &SLNode[K, V]{kind: kindTail, level: i + 1}
+		l.heads[i].intern()
+		l.tails[i].intern()
 	}
 	for i := 0; i < cfg.maxLevel; i++ {
 		h, t := l.heads[i], l.tails[i]
 		h.towerRoot, t.towerRoot = l.heads[0], l.tails[0]
-		h.succ.Store(&slSucc[K, V]{right: t})
-		t.succ.Store(&slSucc[K, V]{right: nil})
+		h.succ.Store(t.asClean())
+		t.succ.Store(&slSucc[K, V]{right: nil}) // the one record no node interns
 		if i > 0 {
 			h.down, t.down = l.heads[i-1], l.tails[i-1]
 		}
@@ -99,6 +107,7 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 			h.up, t.up = h, t // top of the towers
 		}
 	}
+	l.size.Init()
 	return l
 }
 
@@ -175,6 +184,7 @@ func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 	}
 	root := &SLNode[K, V]{key: k, val: v, level: 1}
 	root.towerRoot = root
+	root.intern()
 	height := l.randomHeight()
 	newNode := root
 	lv := 1
@@ -206,6 +216,7 @@ func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 			return root, true // tower construction finished
 		}
 		newNode = &SLNode[K, V]{key: k, level: lv, down: newNode, towerRoot: root}
+		newNode.intern()
 		prev, next = l.searchToLevel(p, k, lv, false)
 	}
 }

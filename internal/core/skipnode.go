@@ -6,7 +6,8 @@ import (
 
 // slSucc is the composite successor field of a skip-list node, analogous to
 // succ for the plain list: (right, mark, flag) swapped atomically as an
-// immutable record.
+// immutable record. Like the list's records, they are interned per node
+// (see SLNode.refs), so C&S sites never allocate.
 type slSucc[K comparable, V any] struct {
 	right   *SLNode[K, V]
 	marked  bool
@@ -35,7 +36,29 @@ type SLNode[K comparable, V any] struct {
 	down      *SLNode[K, V] // node one level below, nil on roots
 	towerRoot *SLNode[K, V] // root of this node's tower (self on roots)
 	up        *SLNode[K, V] // head/tail towers only
+
+	// refs holds the node's interned successor records (clean, flagged,
+	// marked - the only records whose right pointer is this node), written
+	// once by intern before publication; see Node.refs in node.go.
+	refs [numRefs]slSucc[K, V]
 }
+
+// intern builds the node's interned successor records. It must run exactly
+// once, after allocation and before the node is published.
+func (n *SLNode[K, V]) intern() {
+	n.refs[refClean] = slSucc[K, V]{right: n}
+	n.refs[refFlagged] = slSucc[K, V]{right: n, flagged: true}
+	n.refs[refMarked] = slSucc[K, V]{right: n, marked: true}
+}
+
+// asClean returns the interned record (n, unmarked, unflagged).
+func (n *SLNode[K, V]) asClean() *slSucc[K, V] { return &n.refs[refClean] }
+
+// asFlagged returns the interned record (n, unmarked, flagged).
+func (n *SLNode[K, V]) asFlagged() *slSucc[K, V] { return &n.refs[refFlagged] }
+
+// asMarked returns the interned record (n, marked, unflagged).
+func (n *SLNode[K, V]) asMarked() *slSucc[K, V] { return &n.refs[refMarked] }
 
 // Key returns the node's key.
 func (n *SLNode[K, V]) Key() K { return n.key }

@@ -1,0 +1,103 @@
+#!/bin/sh
+# benchdiff.sh - the perf gate: runs the tier-1 microbenchmarks on the
+# current tree and on a base commit, compares them, and fails on a mean
+# ns/op regression larger than the threshold on any benchmark both sides
+# share. Uses benchstat for the report when it is installed; the gate
+# itself is a self-contained awk comparison so the script works on boxes
+# without benchstat (nothing is downloaded).
+#
+# Usage: scripts/benchdiff.sh [base-ref]      (or: make benchdiff)
+#
+# Environment:
+#   BENCHDIFF_BASE            base ref (default: merge-base with origin/main,
+#                             falling back to HEAD~1)
+#   BENCHDIFF_BENCH           -bench regex (default: the tier-1 set below)
+#   BENCHDIFF_COUNT           -count per side (default 5)
+#   BENCHDIFF_BENCHTIME       -benchtime per run (default 100ms)
+#   BENCHDIFF_MAX_REGRESSION  allowed mean slowdown in percent (default 5)
+#   BENCHDIFF_PKG             package to bench (default ./internal/core)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE="${1:-${BENCHDIFF_BASE:-}}"
+if [ -z "$BASE" ]; then
+    BASE=$(git merge-base HEAD origin/main 2>/dev/null) || BASE=$(git rev-parse HEAD~1)
+fi
+if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
+    # Already sitting on the base (e.g. running on main itself): compare
+    # against the previous commit so the gate still measures something.
+    BASE=$(git rev-parse HEAD~1)
+fi
+
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs)}"
+COUNT="${BENCHDIFF_COUNT:-5}"
+BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
+MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
+PKG="${BENCHDIFF_PKG:-./internal/core}"
+
+TMP=$(mktemp -d)
+WORKTREE="$TMP/base"
+cleanup() {
+    git worktree remove --force "$WORKTREE" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== benchdiff: HEAD (worktree) vs $(git rev-parse --short "$BASE") =="
+echo "   bench=$BENCH count=$COUNT benchtime=$BENCHTIME gate=${MAXREG}%"
+
+echo "-- new (current tree) --"
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" "$PKG" \
+    | tee "$TMP/new.txt" | grep -c '^Benchmark' >/dev/null
+
+echo "-- old ($BASE) --"
+git worktree add --detach --quiet "$WORKTREE" "$BASE"
+(cd "$WORKTREE" && go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" "$PKG") \
+    | tee "$TMP/old.txt" | grep -c '^Benchmark' >/dev/null || {
+    echo "benchdiff: base commit could not run the benchmark set; nothing to gate" >&2
+    exit 0
+}
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "-- benchstat old new --"
+    benchstat "$TMP/old.txt" "$TMP/new.txt" || true
+fi
+
+# The gate: average ns/op per benchmark name (CPU suffix stripped), joined
+# on the names present on both sides; new benchmarks (e.g. BenchmarkAllocs*
+# when the base predates them) are reported but cannot regress.
+awk -v maxreg="$MAXREG" '
+    /^Benchmark/ && /ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op") {
+                if (FILENAME ~ /old\.txt$/) { oldsum[name] += $i; oldn[name]++ }
+                else                        { newsum[name] += $i; newn[name]++ }
+                break
+            }
+        }
+    }
+    END {
+        fails = 0
+        printf "%-40s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        for (name in newsum) {
+            new = newsum[name] / newn[name]
+            if (!(name in oldsum)) {
+                printf "%-40s %12s %12.1f %8s\n", name, "-", new, "new"
+                continue
+            }
+            old = oldsum[name] / oldn[name]
+            delta = (new - old) / old * 100
+            flag = ""
+            if (delta > maxreg) { flag = "  << REGRESSION"; fails++ }
+            printf "%-40s %12.1f %12.1f %+7.1f%%%s\n", name, old, new, delta, flag
+        }
+        if (fails > 0) {
+            printf "benchdiff: %d benchmark(s) regressed more than %s%%\n", fails, maxreg > "/dev/stderr"
+            exit 1
+        }
+        print "benchdiff: no regression beyond " maxreg "%"
+    }
+' "$TMP/old.txt" "$TMP/new.txt"

@@ -3,9 +3,12 @@
 #
 #   1. go vet over every package,
 #   2. the tier-1 gate (build + tests, as recorded in ROADMAP.md),
-#   3. the test suite again under the race detector.
+#   3. the test suite again under the race detector,
+#   4. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
+#      base — off by default because microbenchmarks need a quiet machine
+#      to be meaningful.
 #
-# Usage: scripts/check.sh  (or: make check)
+# Usage: scripts/check.sh  (or: make check; BENCHDIFF=1 make check)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,5 +22,10 @@ go test ./...
 
 echo "== race: go test -race ./... =="
 go test -race ./...
+
+if [ "${BENCHDIFF:-0}" = "1" ]; then
+    echo "== benchdiff: perf gate =="
+    scripts/benchdiff.sh
+fi
 
 echo "check: all gates passed"
