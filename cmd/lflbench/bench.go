@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"sync"
@@ -22,8 +23,11 @@ func serveTelemetry(addr string) (stop func(), bound string, err error) {
 }
 
 // The "bench" stage is the machine-readable counterpart of the experiment
-// tables: it drives the primary structures with telemetry attached at
-// sampling period 1 (exact recording) and emits BENCH_lflbench.json with
+// tables: it drives the primary structures with telemetry attached —
+// sampling period 1 (exact recording) on the uniform rows, period
+// clusterSampleEvery on the clustered rows, where exact recording's flat
+// per-op cost would bury the amortization under test — and emits
+// BENCH_lflbench.json with
 // ops/sec, essential steps per operation, allocs/op and bytes/op over the
 // measured window, the full counter vector, and latency quantiles taken
 // from the live histograms — the same numbers a production scrape of
@@ -38,13 +42,28 @@ type benchJSON struct {
 }
 
 type benchRow struct {
-	Impl                string               `json:"impl"`
-	Threads             int                  `json:"threads"`
-	Mix                 string               `json:"mix"`
-	KeyRange            int                  `json:"key_range"`
-	Ops                 int                  `json:"ops"`
-	OpsPerSec           float64              `json:"ops_per_sec"`
-	EssentialStepsPerOp float64              `json:"essential_steps_per_op"`
+	// Machine-independent configuration first, measurements after, so
+	// diffs of the checked-in trajectory lead with what was run.
+	Impl     string `json:"impl"`
+	Threads  int    `json:"threads"`
+	Mix      string `json:"mix"`
+	KeyRange int    `json:"key_range"`
+	// Workload is "uniform" (independent uniform keys) or "clustered"
+	// (sorted runs of clusterOps keys inside a clusterWindow-wide window).
+	// Batch is 0 for per-key operations or the batch length when the
+	// clustered run goes through the finger-threaded batch API — the
+	// per-key clustered row is the baseline the batch row's ops/sec is
+	// judged against.
+	Workload string `json:"workload"`
+	Batch    int    `json:"batch"`
+	// SampleEvery is the telemetry sampling period the row ran under: 1
+	// (exact recording) for the uniform rows, clusterSampleEvery for the
+	// clustered ones, where exact recording's flat per-op cost would bury
+	// the amortization being measured.
+	SampleEvery         int     `json:"sample_every"`
+	Ops                 int     `json:"ops"`
+	OpsPerSec           float64 `json:"ops_per_sec"`
+	EssentialStepsPerOp float64 `json:"essential_steps_per_op"`
 	// AllocsPerOp/BytesPerOp are heap deltas (runtime.MemStats Mallocs /
 	// TotalAlloc) over the measured window divided by completed ops, so
 	// the perf trajectory records memory as well as throughput. They
@@ -71,6 +90,9 @@ type benchDict interface {
 	insert(k int) bool
 	remove(k int) bool
 	contains(k int) bool
+	insertBatch(items []core.KV[int, int]) int
+	removeBatch(keys []int) int
+	containsBatch(keys []int) int
 }
 
 type benchList struct{ l *core.List[int, int] }
@@ -79,11 +101,23 @@ func (d benchList) insert(k int) bool   { _, ok := d.l.Insert(nil, k, k); return
 func (d benchList) remove(k int) bool   { _, ok := d.l.Delete(nil, k); return ok }
 func (d benchList) contains(k int) bool { return d.l.Search(nil, k) != nil }
 
+func (d benchList) insertBatch(items []core.KV[int, int]) int {
+	return d.l.InsertBatch(nil, items, nil)
+}
+func (d benchList) removeBatch(keys []int) int   { return d.l.DeleteBatch(nil, keys, nil) }
+func (d benchList) containsBatch(keys []int) int { return d.l.GetBatch(nil, keys, nil, nil) }
+
 type benchSkip struct{ l *core.SkipList[int, int] }
 
 func (d benchSkip) insert(k int) bool   { _, ok := d.l.Insert(nil, k, k); return ok }
 func (d benchSkip) remove(k int) bool   { _, ok := d.l.Delete(nil, k); return ok }
 func (d benchSkip) contains(k int) bool { return d.l.Search(nil, k) != nil }
+
+func (d benchSkip) insertBatch(items []core.KV[int, int]) int {
+	return d.l.InsertBatch(nil, items, nil)
+}
+func (d benchSkip) removeBatch(keys []int) int   { return d.l.DeleteBatch(nil, keys, nil) }
+func (d benchSkip) containsBatch(keys []int) int { return d.l.GetBatch(nil, keys, nil, nil) }
 
 func newBenchDict(impl string, tel *ltel.Telemetry) benchDict {
 	switch impl {
@@ -100,6 +134,52 @@ func newBenchDict(impl string, tel *ltel.Telemetry) benchDict {
 	}
 }
 
+// clusterOps keys are issued inside one clusterWindow-wide window before
+// the clustered workload jumps to a fresh window; the batch rows flush
+// them as one sorted batch per kind.
+const (
+	clusterOps    = 64
+	clusterWindow = 256
+	// clusterSampleEvery is the telemetry sampling period of the clustered
+	// rows (the uniform rows record exactly, period 1).
+	clusterSampleEvery = 32
+)
+
+// benchConfig is one measured row.
+type benchConfig struct {
+	impl      string
+	threads   int
+	keyRange  int
+	ops       int
+	clustered bool
+	batch     int // 0 = per-key; else the batch length (clustered only)
+}
+
+func (c benchConfig) workload() string {
+	if c.clustered {
+		return "clustered"
+	}
+	return "uniform"
+}
+
+// clusteredMix is the op mix of the clustered rows; runClusteredThread's
+// j%10 switch implements it.
+var clusteredMix = workload.Mix{SearchPct: 80, InsertPct: 10, DeletePct: 10}
+
+func (c benchConfig) sampleEvery() int {
+	if c.clustered {
+		return clusterSampleEvery
+	}
+	return 1
+}
+
+func (c benchConfig) mix() workload.Mix {
+	if c.clustered {
+		return clusteredMix
+	}
+	return workload.Balanced
+}
+
 // runBenchJSON measures every configuration, writes the JSON file, and
 // returns a human-readable summary table.
 func runBenchJSON(path string, quick bool) (string, error) {
@@ -111,15 +191,7 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		keyRange, ops = 256, 20_000
 	}
 
-	out := benchJSON{
-		Schema:     "lflbench/v1",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Quick:      quick,
-	}
-	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s, range=%d, ops=%d) ==\n",
-		workload.Balanced, keyRange, ops)
-	text += fmt.Sprintf("%-12s %8s %10s %14s %10s %10s %12s %12s\n",
-		"impl", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
+	var cfgs []benchConfig
 	for _, impl := range impls {
 		// Lists walk every node: keep the full range but trim ops so the
 		// fr-list rows finish in comparable time.
@@ -128,17 +200,51 @@ func runBenchJSON(path string, quick bool) (string, error) {
 			implOps = ops / 4
 		}
 		for _, th := range threads {
-			row, err := benchOne(impl, th, keyRange, implOps)
-			if err != nil {
-				return "", err
-			}
-			out.Benchmarks = append(out.Benchmarks, row)
-			g := row.Latency["get"]
-			text += fmt.Sprintf("%-12s %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
-				impl, th, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
-				row.AllocsPerOp, row.BytesPerOp,
-				time.Duration(g.P50NS), time.Duration(g.P99NS))
+			cfgs = append(cfgs, benchConfig{impl: impl, threads: th, keyRange: keyRange, ops: implOps})
 		}
+		// The clustered pairs: per-key baseline, then the same key stream
+		// through the batch API (same seeds, so identical keys per thread).
+		// The skip list runs at its natural depth - with only 2^10 keys the
+		// from-top descent is so short that the finger's savings drown in
+		// constant per-op overhead; the list keeps the small range, where a
+		// from-head walk is already hundreds of steps.
+		clRange := keyRange
+		if impl == "fr-skiplist" {
+			clRange = 65536
+			if quick {
+				clRange = 8192
+			}
+		}
+		for _, th := range threads {
+			for _, batch := range []int{0, clusterOps} {
+				cfgs = append(cfgs, benchConfig{
+					impl: impl, threads: th, keyRange: clRange, ops: implOps,
+					clustered: true, batch: batch,
+				})
+			}
+		}
+	}
+
+	out := benchJSON{
+		Schema:     "lflbench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered, ops=%d) ==\n",
+		workload.Balanced, clusteredMix, ops)
+	text += fmt.Sprintf("%-12s %-10s %6s %8s %10s %14s %10s %10s %12s %12s\n",
+		"impl", "workload", "batch", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
+	for _, cfg := range cfgs {
+		row, err := benchOne(cfg)
+		if err != nil {
+			return "", err
+		}
+		out.Benchmarks = append(out.Benchmarks, row)
+		g := row.Latency["get"]
+		text += fmt.Sprintf("%-12s %-10s %6d %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
+			row.Impl, row.Workload, row.Batch, row.Threads, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
+			row.AllocsPerOp, row.BytesPerOp,
+			time.Duration(g.P50NS), time.Duration(g.P99NS))
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -154,28 +260,37 @@ func runBenchJSON(path string, quick bool) (string, error) {
 
 // benchOne runs one instrumented configuration and reads its metrics back
 // out of the telemetry snapshot.
-func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
-	tel, err := newBenchTelemetry(fmt.Sprintf("bench-%s-%d", impl, threads))
+func benchOne(cfg benchConfig) (benchRow, error) {
+	tel, err := newBenchTelemetry(fmt.Sprintf("bench-%s-%s-%d-%d",
+		cfg.impl, cfg.workload(), cfg.batch, cfg.threads), cfg.sampleEvery())
 	if err != nil {
 		return benchRow{}, err
 	}
 	defer tel.Unregister()
-	d := newBenchDict(impl, tel)
-	for _, k := range workload.Prefill(keyRange) {
+	d := newBenchDict(cfg.impl, tel)
+	for _, k := range workload.Prefill(cfg.keyRange) {
 		d.insert(k)
 	}
 	tel.Delta() // reset the delta baseline: exclude prefill from the measured window
 
-	perThread := ops / threads
+	perThread := cfg.ops / cfg.threads
 	start := make(chan struct{})
 	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
+	for t := 0; t < cfg.threads; t++ {
+		wg.Add(1)
+		if cfg.clustered {
+			go func(t int) {
+				defer wg.Done()
+				<-start
+				runClusteredThread(d, cfg, t, perThread)
+			}(t)
+			continue
+		}
 		// Generators are built before the measured window opens so their
 		// allocations stay out of the allocs/op accounting.
 		gen := workload.NewGenerator(workload.Config{
-			Mix: workload.Balanced, Dist: workload.Uniform, Range: keyRange, Seed: 11,
+			Mix: workload.Balanced, Dist: workload.Uniform, Range: cfg.keyRange, Seed: 11,
 		}, t)
-		wg.Add(1)
 		go func(gen *workload.Generator) {
 			defer wg.Done()
 			<-start
@@ -203,15 +318,18 @@ func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
 
 	s := tel.Delta()
 	row := benchRow{
-		Impl:                impl,
-		Threads:             threads,
-		Mix:                 workload.Balanced.String(),
-		KeyRange:            keyRange,
-		Ops:                 perThread * threads,
-		OpsPerSec:           float64(perThread*threads) / elapsed.Seconds(),
+		Impl:                cfg.impl,
+		Threads:             cfg.threads,
+		Mix:                 cfg.mix().String(),
+		KeyRange:            cfg.keyRange,
+		Workload:            cfg.workload(),
+		Batch:               cfg.batch,
+		SampleEvery:         cfg.sampleEvery(),
+		Ops:                 perThread * cfg.threads,
+		OpsPerSec:           float64(perThread*cfg.threads) / elapsed.Seconds(),
 		EssentialStepsPerOp: s.EssentialStepsPerOp(),
-		AllocsPerOp:         float64(m1.Mallocs-m0.Mallocs) / float64(perThread*threads),
-		BytesPerOp:          float64(m1.TotalAlloc-m0.TotalAlloc) / float64(perThread*threads),
+		AllocsPerOp:         float64(m1.Mallocs-m0.Mallocs) / float64(perThread*cfg.threads),
+		BytesPerOp:          float64(m1.TotalAlloc-m0.TotalAlloc) / float64(perThread*cfg.threads),
 		Counters:            map[string]uint64{},
 		Latency:             map[string]latencyNS{},
 	}
@@ -235,23 +353,72 @@ func benchOne(impl string, threads, keyRange, ops int) (benchRow, error) {
 	return row, nil
 }
 
+// runClusteredThread drives one worker of a clustered row: sorted runs of
+// clusterOps keys inside a random clusterWindow-wide window, with the
+// read-heavy clusteredMix (locality of reference is above all a read
+// pattern - scans, joins, working-set lookups). Per-key and batch rows
+// share the per-thread seeds, so both judge the exact same key stream; the
+// batch mode only changes how the keys are issued — one sorted batch per
+// kind per cluster, threaded by a finger inside the structure.
+func runClusteredThread(d benchDict, cfg benchConfig, t, perThread int) {
+	rng := rand.New(rand.NewPCG(uint64(t)+1, 29))
+	window := min(clusterWindow, cfg.keyRange)
+	ins := make([]core.KV[int, int], 0, clusterOps)
+	dels := make([]int, 0, clusterOps)
+	gets := make([]int, 0, clusterOps)
+	for done := 0; done < perThread; {
+		base := int(rng.Uint64N(uint64(cfg.keyRange - window + 1)))
+		n := min(clusterOps, perThread-done)
+		if cfg.batch == 0 {
+			for j := 0; j < n; j++ {
+				k := base + int(rng.Uint64N(uint64(window)))
+				switch j % 10 {
+				case 0:
+					d.insert(k)
+				case 1:
+					d.remove(k)
+				default:
+					d.contains(k)
+				}
+			}
+		} else {
+			ins, dels, gets = ins[:0], dels[:0], gets[:0]
+			for j := 0; j < n; j++ {
+				k := base + int(rng.Uint64N(uint64(window)))
+				switch j % 10 {
+				case 0:
+					ins = append(ins, core.KV[int, int]{Key: k, Value: k})
+				case 1:
+					dels = append(dels, k)
+				default:
+					gets = append(gets, k)
+				}
+			}
+			d.insertBatch(ins)
+			d.removeBatch(dels)
+			d.containsBatch(gets)
+		}
+		done += n
+	}
+}
+
 // newBenchTelemetry registers a fresh exact-recording instance and
 // publishes it to expvar, recovering from a name collision (e.g. reruns
 // inside one test process — expvar names are permanent) by suffixing.
-func newBenchTelemetry(name string) (t *ltel.Telemetry, err error) {
+func newBenchTelemetry(name string, every int) (t *ltel.Telemetry, err error) {
 	for i := 0; i < 16; i++ {
 		n := name
 		if i > 0 {
 			n = fmt.Sprintf("%s-%d", name, i)
 		}
-		if t = tryNewTelemetry(n); t != nil {
+		if t = tryNewTelemetry(n, every); t != nil {
 			return t, nil
 		}
 	}
 	return nil, fmt.Errorf("could not register telemetry instance %q", name)
 }
 
-func tryNewTelemetry(name string) (t *ltel.Telemetry) {
+func tryNewTelemetry(name string, every int) (t *ltel.Telemetry) {
 	defer func() {
 		if recover() != nil {
 			if t != nil {
@@ -260,7 +427,7 @@ func tryNewTelemetry(name string) (t *ltel.Telemetry) {
 			t = nil
 		}
 	}()
-	t = ltel.New(name, ltel.WithSampleEvery(1))
+	t = ltel.New(name, ltel.WithSampleEvery(every))
 	t.PublishExpvar()
 	return t
 }

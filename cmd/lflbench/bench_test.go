@@ -33,11 +33,34 @@ func TestBenchJSONOutput(t *testing.T) {
 	if out.Schema != "lflbench/v1" {
 		t.Fatalf("schema = %q", out.Schema)
 	}
-	// quick mode: 2 impls x 2 thread counts.
-	if len(out.Benchmarks) != 4 {
-		t.Fatalf("rows = %d, want 4", len(out.Benchmarks))
+	// quick mode: 2 impls x 2 thread counts, uniform plus the clustered
+	// per-key/batch pair: 2*2 + 2*2*2 rows.
+	if len(out.Benchmarks) != 12 {
+		t.Fatalf("rows = %d, want 12", len(out.Benchmarks))
 	}
+	batchRows := 0
 	for _, row := range out.Benchmarks {
+		switch row.Workload {
+		case "uniform", "clustered":
+		default:
+			t.Fatalf("%s/%d: workload = %q", row.Impl, row.Threads, row.Workload)
+		}
+		if row.Batch > 0 {
+			batchRows++
+			if row.Workload != "clustered" {
+				t.Fatalf("%s/%d: batch row with workload %q", row.Impl, row.Threads, row.Workload)
+			}
+			// The batch rows go through the fingers: the finger counters
+			// must be live, and on a clustered stream hits must dominate.
+			if row.Counters["finger_hits"] == 0 {
+				t.Fatalf("%s/%d/batch=%d: no finger hits: %v", row.Impl, row.Threads, row.Batch, row.Counters)
+			}
+			if row.Counters["finger_hits"] < row.Counters["finger_misses"] {
+				t.Fatalf("%s/%d/batch=%d: finger hits %d < misses %d on a clustered stream",
+					row.Impl, row.Threads, row.Batch,
+					row.Counters["finger_hits"], row.Counters["finger_misses"])
+			}
+		}
 		if row.OpsPerSec <= 0 {
 			t.Fatalf("%s/%d: ops_per_sec = %v", row.Impl, row.Threads, row.OpsPerSec)
 		}
@@ -51,10 +74,14 @@ func TestBenchJSONOutput(t *testing.T) {
 		if !ok || get.Count == 0 {
 			t.Fatalf("%s/%d: no get latency: %v", row.Impl, row.Threads, row.Latency)
 		}
-		// Exact recording at period 1: p50 <= p99, both nonzero.
+		// Quantiles must be ordered and live whether the row recorded
+		// exactly (uniform, period 1) or sampled (clustered rows).
 		if get.P50NS <= 0 || get.P99NS < get.P50NS {
 			t.Fatalf("%s/%d: quantiles p50=%d p99=%d", row.Impl, row.Threads, get.P50NS, get.P99NS)
 		}
+	}
+	if batchRows != 4 {
+		t.Fatalf("batch rows = %d, want 4", batchRows)
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lflstress [-impl fr-skiplist] [-threads 8] [-ops 2000] [-keys 16]
-//	          [-rounds 20] [-seed 1] [-telemetry-addr HOST:PORT]
+//	          [-rounds 20] [-seed 1] [-batch N] [-telemetry-addr HOST:PORT]
 //	          [-telemetry-every 5]
 //
 // With -telemetry-addr, the fr-list and fr-skiplist implementations run
@@ -14,6 +14,11 @@
 // period 1) and the Prometheus /metrics and expvar /debug/vars endpoints
 // are served for the duration of the run; a per-interval delta summary is
 // printed every -telemetry-every rounds.
+//
+// With -batch N, workers issue their operations as sorted N-key batches
+// through the finger-threaded batch API instead of one key at a time.
+// Every batch element is still recorded and history-checked individually;
+// with telemetry attached, the delta summary reports the finger hit rate.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -49,6 +55,15 @@ type checked interface {
 	validate() error
 }
 
+// batchChecked is the subset of implementations whose batch API the
+// -batch mode can drive; only the primary structures have one.
+type batchChecked interface {
+	checked
+	insertBatch(keys []int, res []bool)
+	removeBatch(keys []int, res []bool)
+	searchBatch(keys []int, res []bool)
+}
+
 type frList struct{ l *core.List[int, int] }
 
 func (d frList) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
@@ -56,12 +71,32 @@ func (d frList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
 func (d frList) search(k int) bool { return d.l.Search(nil, k) != nil }
 func (d frList) validate() error   { return d.l.CheckInvariants() }
 
+func (d frList) insertBatch(keys []int, res []bool) {
+	d.l.InsertBatch(nil, kvs(keys), res)
+}
+func (d frList) removeBatch(keys []int, res []bool) { d.l.DeleteBatch(nil, keys, res) }
+func (d frList) searchBatch(keys []int, res []bool) { d.l.GetBatch(nil, keys, nil, res) }
+
 type frSkip struct{ l *core.SkipList[int, int] }
 
 func (d frSkip) insert(k int) bool { _, ok := d.l.Insert(nil, k, k); return ok }
 func (d frSkip) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok }
 func (d frSkip) search(k int) bool { return d.l.Search(nil, k) != nil }
 func (d frSkip) validate() error   { return d.l.CheckStructure() }
+
+func (d frSkip) insertBatch(keys []int, res []bool) {
+	d.l.InsertBatch(nil, kvs(keys), res)
+}
+func (d frSkip) removeBatch(keys []int, res []bool) { d.l.DeleteBatch(nil, keys, res) }
+func (d frSkip) searchBatch(keys []int, res []bool) { d.l.GetBatch(nil, keys, nil, res) }
+
+func kvs(keys []int) []core.KV[int, int] {
+	items := make([]core.KV[int, int], len(keys))
+	for i, k := range keys {
+		items[i] = core.KV[int, int]{Key: k, Value: k}
+	}
+	return items
+}
 
 type harrisList struct{ l *harris.List[int, int] }
 
@@ -138,6 +173,7 @@ func run(args []string) error {
 	keys := fs.Int("keys", 16, "key-space size (small = high contention)")
 	rounds := fs.Int("rounds", 20, "independent rounds")
 	seed := fs.Uint64("seed", 1, "base random seed")
+	batch := fs.Int("batch", 0, "issue operations as sorted N-key batches through the finger-threaded batch API (fr-list/fr-skiplist only); every element is still history-checked, so raise -keys to keep per-key segments under the checker limit")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
 	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +200,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *batch > 0 {
+			if _, ok := d.(batchChecked); !ok {
+				return fmt.Errorf("-batch requires an implementation with a batch API; %q has none", *impl)
+			}
+		}
 		rec := history.NewRecorder(*threads, *ops)
 		var wg sync.WaitGroup
 		for w := 0; w < *threads; w++ {
@@ -172,6 +213,10 @@ func run(args []string) error {
 				defer wg.Done()
 				th := rec.Thread(w)
 				rng := rand.New(rand.NewPCG(*seed+uint64(round), uint64(w)))
+				if *batch > 0 {
+					runBatchWorker(d.(batchChecked), th, rng, *ops, *keys, *batch)
+					return
+				}
 				for i := 0; i < *ops; i++ {
 					k := int(rng.Uint64N(uint64(*keys)))
 					switch rng.Uint64N(3) {
@@ -209,13 +254,65 @@ func run(args []string) error {
 	return nil
 }
 
+// runBatchWorker is one round's worth of batched operations: sorted
+// batches of up to n keys, one operation kind per batch, every element
+// recorded individually. The whole batch call sits inside each element's
+// [begin, end] interval, so the history check stays sound - each element
+// linearizes somewhere inside the batch, which is inside the recorded
+// window.
+func runBatchWorker(d batchChecked, th *history.Thread, rng *rand.Rand, ops, keyRange, n int) {
+	bkeys := make([]int, 0, n)
+	pend := make([]history.Op, 0, n)
+	res := make([]bool, n)
+	for i := 0; i < ops; {
+		c := min(n, ops-i)
+		bkeys = bkeys[:0]
+		for j := 0; j < c; j++ {
+			bkeys = append(bkeys, int(rng.Uint64N(uint64(keyRange))))
+		}
+		// Pre-sorting keeps the recorded ops positionally aligned with the
+		// batch results (the batch methods sort their argument in place).
+		slices.Sort(bkeys)
+		kind := history.Kind(0)
+		pend = pend[:0]
+		switch rng.Uint64N(3) {
+		case 0:
+			kind = history.KindInsert
+		case 1:
+			kind = history.KindDelete
+		default:
+			kind = history.KindSearch
+		}
+		for _, k := range bkeys {
+			pend = append(pend, th.Begin(kind, k))
+		}
+		switch kind {
+		case history.KindInsert:
+			d.insertBatch(bkeys, res[:c])
+		case history.KindDelete:
+			d.removeBatch(bkeys, res[:c])
+		default:
+			d.searchBatch(bkeys, res[:c])
+		}
+		for j, o := range pend {
+			th.End(o, res[j])
+		}
+		i += c
+	}
+}
+
 // printTelemetryDelta summarizes the live metrics accumulated since the
 // previous interval: per-op throughput and latency quantiles plus the
-// paper's essential-step counters (Section 3.4 accounting).
+// paper's essential-step counters (Section 3.4 accounting) and, when the
+// interval went through fingers, the finger hit rate.
 func printTelemetryDelta(round int, s ltel.Snapshot) {
 	fmt.Printf("[telemetry] after round %d: ops=%d ess.steps/op=%.1f cas=%d/%d backlinks=%d\n",
 		round, s.TotalOps(), s.EssentialStepsPerOp(),
 		s.Counters.CASSuccesses, s.Counters.CASAttempts, s.Counters.BacklinkTraversals)
+	if probes := s.Counters.FingerHits + s.Counters.FingerMisses; probes > 0 {
+		fmt.Printf("[telemetry]   finger hit rate %.1f%% (%d hits / %d probes)\n",
+			100*float64(s.Counters.FingerHits)/float64(probes), s.Counters.FingerHits, probes)
+	}
 	for op := ltel.Op(0); op < ltel.NumOps; op++ {
 		o := s.Ops[op]
 		if o.Count == 0 {

@@ -48,6 +48,29 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunBatchSmoke drives both primary structures through the -batch
+// mode: batches wide enough to span several fingers' worth of hops, a key
+// space large enough to keep per-key segments checkable, and full
+// linearizability checking of every batch element.
+func TestRunBatchSmoke(t *testing.T) {
+	for _, impl := range []string{"fr-list", "fr-skiplist"} {
+		err := run([]string{"-impl", impl, "-threads", "4", "-ops", "256",
+			"-keys", "128", "-rounds", "2", "-batch", "16"})
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+	}
+}
+
+// TestRunBatchUnsupportedImpl checks -batch refuses implementations
+// without a batch API instead of silently ignoring the flag.
+func TestRunBatchUnsupportedImpl(t *testing.T) {
+	err := run([]string{"-impl", "harris-list", "-rounds", "1", "-batch", "8"})
+	if err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Fatalf("err = %v, want batch-unsupported error", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-impl", "nope"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown -impl") {

@@ -253,3 +253,181 @@ func BenchmarkAllocsSkipListInsertDelete(b *testing.B) {
 		l.Delete(nil, 1)
 	}
 }
+
+// The finger and batch paths inherit the zero-allocation contract: Get
+// and Delete through a finger allocate nothing, batch Get/Delete allocate
+// nothing, and a batch insert allocates exactly its nodes - the threading
+// finger lives on the caller's stack.
+
+func TestAllocsListFinger(t *testing.T) {
+	l := NewList[int, int]()
+	const runs = 400
+	for k := 0; k < runs+2; k++ {
+		l.Insert(nil, k, k)
+	}
+	f := l.NewFinger()
+	k := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		l2 := k % (runs + 2)
+		f.Get(nil, l2)
+		f.Search(nil, (l2+1)%(runs+2))
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("finger Get/Search allocate %v objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { f.Insert(nil, 17, 17) }); allocs != 0 {
+		t.Fatalf("finger Insert(duplicate) allocates %v objects per op, want 0", allocs)
+	}
+	k = 0
+	allocs = testing.AllocsPerRun(runs, func() {
+		if _, ok := f.Delete(nil, k); !ok {
+			t.Fatalf("finger delete of present key %d failed", k)
+		}
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("finger Delete allocates %v objects per op, want 0", allocs)
+	}
+}
+
+func TestAllocsSkipListFinger(t *testing.T) {
+	l := NewSkipList[int, int](WithRandomSource(zeroRng))
+	const runs = 400
+	for k := 0; k < runs+2; k++ {
+		l.Insert(nil, k, k)
+	}
+	f := l.NewFinger()
+	k := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		f.Get(nil, k%(runs+2))
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("skip finger Get allocates %v objects per op, want 0", allocs)
+	}
+	k = 0
+	allocs = testing.AllocsPerRun(runs, func() {
+		if _, ok := f.Delete(nil, k); !ok {
+			t.Fatalf("skip finger delete of present key %d failed", k)
+		}
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("skip finger Delete allocates %v objects per op, want 0", allocs)
+	}
+}
+
+func TestAllocsListBatch(t *testing.T) {
+	l := NewList[int, int]()
+	for k := 0; k < 256; k++ {
+		l.Insert(nil, k, k)
+	}
+	keys := make([]int, 16)
+	vals := make([]int, 16)
+	found := make([]bool, 16)
+	allocs := testing.AllocsPerRun(300, func() {
+		for i := range keys {
+			keys[i] = (i * 37) % 256
+		}
+		l.GetBatch(nil, keys, vals, found)
+	})
+	if allocs != 0 {
+		t.Fatalf("GetBatch allocates %v objects per batch, want 0", allocs)
+	}
+	// Insert+Delete of B fresh keys allocates exactly B nodes: the
+	// sorting, the finger, and the result bookkeeping add nothing.
+	items := make([]KV[int, int], 16)
+	allocs = testing.AllocsPerRun(300, func() {
+		for i := range items {
+			items[i] = KV[int, int]{Key: 1000 + i, Value: i}
+			keys[i] = 1000 + i
+		}
+		if n := l.InsertBatch(nil, items, nil); n != len(items) {
+			t.Fatalf("InsertBatch = %d, want %d", n, len(items))
+		}
+		if n := l.DeleteBatch(nil, keys, nil); n != len(keys) {
+			t.Fatalf("DeleteBatch = %d, want %d", n, len(keys))
+		}
+	})
+	if allocs != float64(len(items)) {
+		t.Fatalf("InsertBatch+DeleteBatch allocate %v objects per batch, want exactly %d (the nodes)",
+			allocs, len(items))
+	}
+}
+
+func TestAllocsSkipListBatch(t *testing.T) {
+	l := NewSkipList[int, int](WithRandomSource(zeroRng))
+	for k := 0; k < 256; k++ {
+		l.Insert(nil, k, k)
+	}
+	keys := make([]int, 16)
+	allocs := testing.AllocsPerRun(300, func() {
+		for i := range keys {
+			keys[i] = (i * 37) % 256
+		}
+		l.GetBatch(nil, keys, nil, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("skip-list GetBatch allocates %v objects per batch, want 0", allocs)
+	}
+	items := make([]KV[int, int], 16)
+	allocs = testing.AllocsPerRun(300, func() {
+		for i := range items {
+			items[i] = KV[int, int]{Key: 1000 + i, Value: i}
+			keys[i] = 1000 + i
+		}
+		if n := l.InsertBatch(nil, items, nil); n != len(items) {
+			t.Fatalf("InsertBatch = %d, want %d", n, len(items))
+		}
+		if n := l.DeleteBatch(nil, keys, nil); n != len(keys) {
+			t.Fatalf("DeleteBatch = %d, want %d", n, len(keys))
+		}
+	})
+	if allocs != float64(len(items)) {
+		t.Fatalf("skip-list InsertBatch+DeleteBatch allocate %v objects per batch, want exactly %d",
+			allocs, len(items))
+	}
+}
+
+func BenchmarkAllocsListFingerGet(b *testing.B) {
+	l := NewList[int, int]()
+	for k := 0; k < 1024; k++ {
+		l.Insert(nil, k, k)
+	}
+	f := l.NewFinger()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Get(nil, i%1024)
+	}
+}
+
+func BenchmarkAllocsSkipListFingerGet(b *testing.B) {
+	l := NewSkipList[int, int]()
+	for k := 0; k < 1024; k++ {
+		l.Insert(nil, k, k)
+	}
+	f := l.NewFinger()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Get(nil, i%1024)
+	}
+}
+
+func BenchmarkAllocsSkipListBatchGet(b *testing.B) {
+	l := NewSkipList[int, int]()
+	for k := 0; k < 1024; k++ {
+		l.Insert(nil, k, k)
+	}
+	keys := make([]int, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = (i + j) % 1024
+		}
+		l.GetBatch(nil, keys, nil, nil)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestAscendRangeConcurrent pins AscendRange's weak-consistency contract
+// (documented on the method) while inserts and deletes race the scan both
+// inside [from, to) and exactly at its edges:
+//
+//   - only keys in [from, to), strictly ascending, no duplicates;
+//   - keys untouched for the test's duration always appear, with their
+//     original values;
+//   - churned keys may or may not appear, but a reported value must be
+//     the one the key was always inserted with.
+func TestAscendRangeConcurrent(t *testing.T) {
+	const (
+		span = 1024
+		from = 258 // both boundary keys are churnable (not multiples of 4)
+		to   = 770
+	)
+	// Keys k%4 == 0 are stable: inserted once, never touched again.
+	// Every other key - including the exact boundaries from-2..from+1 and
+	// to-2..to+1 covered by the churn window - is inserted and deleted
+	// continuously.
+	l := NewSkipList[int, int]()
+	for k := 0; k < span; k += 4 {
+		l.Insert(nil, k, k*3)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 3))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.IntN(span)
+				if k%4 == 0 {
+					k++ // never touch the stable keys
+				}
+				if rng.IntN(2) == 0 {
+					l.Insert(nil, k, k*3)
+				} else {
+					l.Delete(nil, k)
+				}
+			}
+		}(w)
+	}
+
+	var scans sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		scans.Add(1)
+		go func() {
+			defer scans.Done()
+			for r := 0; r < 150; r++ {
+				last := from - 1
+				seen := 0
+				l.AscendRange(nil, from, to, func(k, v int) bool {
+					if k < from || k >= to {
+						t.Errorf("scan reported key %d outside [%d, %d)", k, from, to)
+					}
+					if k <= last {
+						t.Errorf("scan reported key %d after %d: not strictly ascending", k, last)
+					}
+					if v != k*3 {
+						t.Errorf("scan reported key %d with value %d, want %d", k, v, k*3)
+					}
+					// Stable keys between the previous report and this one
+					// must not have been skipped.
+					for s := stableAfter(last); s < k; s += 4 {
+						t.Errorf("scan skipped stable key %d (between %d and %d)", s, last, k)
+					}
+					last = k
+					seen++
+					return true
+				})
+				for s := stableAfter(last); s < to; s += 4 {
+					t.Errorf("scan skipped stable key %d at the tail of the range", s)
+				}
+				if seen < (to-from)/4 {
+					t.Errorf("scan saw %d keys, fewer than the %d stable ones", seen, (to-from)/4)
+				}
+			}
+		}()
+	}
+	scans.Wait()
+	close(stop)
+	churn.Wait()
+	if err := l.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stableAfter returns the smallest stable key (multiple of 4) strictly
+// greater than k.
+func stableAfter(k int) int {
+	return (k/4)*4 + 4
+}
+
+// TestAscendRangeEdges pins the boundary semantics in a quiescent state:
+// from is inclusive, to exclusive, and boundary keys absent from the
+// structure do not disturb the walk.
+func TestAscendRangeEdges(t *testing.T) {
+	l := NewSkipList[int, int]()
+	for k := 0; k < 100; k += 2 { // even keys only
+		l.Insert(nil, k, k)
+	}
+	collect := func(from, to int) []int {
+		var got []int
+		l.AscendRange(nil, from, to, func(k, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		return got
+	}
+	if got := collect(10, 16); len(got) != 3 || got[0] != 10 || got[2] != 14 {
+		t.Fatalf("AscendRange(10,16) = %v, want [10 12 14]", got)
+	}
+	// Odd (absent) boundaries land between keys.
+	if got := collect(9, 15); len(got) != 3 || got[0] != 10 || got[2] != 14 {
+		t.Fatalf("AscendRange(9,15) = %v, want [10 12 14]", got)
+	}
+	if got := collect(98, 200); len(got) != 1 || got[0] != 98 {
+		t.Fatalf("AscendRange(98,200) = %v, want [98]", got)
+	}
+	if got := collect(60, 60); got != nil {
+		t.Fatalf("AscendRange(60,60) = %v, want empty", got)
+	}
+	if got := collect(200, 300); got != nil {
+		t.Fatalf("AscendRange beyond the last key = %v, want empty", got)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import "slices"
+
+// Batch operations: sort the keys once, then thread a single finger
+// through them so each element pays only the short hop from its
+// predecessor instead of a full search. For a batch of k keys spanning a
+// cluster of the structure, the total cost is one full search plus the
+// sum of inter-key gaps - the amortized bound DESIGN.md derives from the
+// paper's SearchFrom analysis. Each element is still an independent
+// linearizable operation; the batch as a whole is NOT atomic.
+//
+// All batch methods sort their argument slice in place and report results
+// positionally against the sorted order. Result slices may be nil (the
+// caller only wants the count) but must have len >= len(keys) otherwise.
+// The methods allocate nothing beyond what the operations themselves
+// require (inserted nodes): the list's threading finger lives on the
+// stack, and the skip list's - which would escape through the slSearcher
+// interface - is recycled through a pool.
+
+// KV pairs a key with a value for InsertBatch.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// GetBatch looks up every key in keys, sorting keys in place first. When
+// vals or found is non-nil, vals[i] and found[i] report the result for
+// the i-th key of the SORTED slice. Returns the number of keys found.
+func (l *List[K, V]) GetBatch(p *Proc, keys []K, vals []V, found []bool) int {
+	slices.SortFunc(keys, l.compare)
+	f := Finger[K, V]{l: l}
+	n := 0
+	for i, k := range keys {
+		v, ok := f.Get(p, k)
+		if ok {
+			n++
+		}
+		if vals != nil {
+			vals[i] = v
+		}
+		if found != nil {
+			found[i] = ok
+		}
+	}
+	return n
+}
+
+// InsertBatch inserts every pair in items, sorting items in place by key
+// first. When inserted is non-nil, inserted[i] reports whether the i-th
+// pair of the SORTED slice was newly inserted (false: duplicate key).
+// Returns the number of new keys.
+func (l *List[K, V]) InsertBatch(p *Proc, items []KV[K, V], inserted []bool) int {
+	slices.SortFunc(items, func(a, b KV[K, V]) int { return l.compare(a.Key, b.Key) })
+	f := Finger[K, V]{l: l}
+	n := 0
+	for i := range items {
+		_, ok := f.Insert(p, items[i].Key, items[i].Value)
+		if ok {
+			n++
+		}
+		if inserted != nil {
+			inserted[i] = ok
+		}
+	}
+	return n
+}
+
+// DeleteBatch deletes every key in keys, sorting keys in place first.
+// When deleted is non-nil, deleted[i] reports whether this call deleted
+// the i-th key of the SORTED slice. Returns the number of keys deleted.
+func (l *List[K, V]) DeleteBatch(p *Proc, keys []K, deleted []bool) int {
+	slices.SortFunc(keys, l.compare)
+	f := Finger[K, V]{l: l}
+	n := 0
+	for i, k := range keys {
+		_, ok := f.Delete(p, k)
+		if ok {
+			n++
+		}
+		if deleted != nil {
+			deleted[i] = ok
+		}
+	}
+	return n
+}
+
+// batchFinger returns a finger for one batch operation. A stack finger
+// (the list batches use one) escapes here: every skip-list operation
+// passes the finger through the slSearcher interface. Recycling heap
+// fingers keeps the steady-state allocation count of a batch at zero.
+func (l *SkipList[K, V]) batchFinger() *SkipFinger[K, V] {
+	if f, ok := l.fpool.Get().(*SkipFinger[K, V]); ok {
+		return f
+	}
+	return l.NewFinger()
+}
+
+// putBatchFinger resets f - a pooled finger must not pin deleted nodes -
+// and returns it to the pool.
+func (l *SkipList[K, V]) putBatchFinger(f *SkipFinger[K, V]) {
+	f.Reset()
+	l.fpool.Put(f)
+}
+
+// GetBatch looks up every key in keys, sorting keys in place first; see
+// List.GetBatch.
+func (l *SkipList[K, V]) GetBatch(p *Proc, keys []K, vals []V, found []bool) int {
+	slices.SortFunc(keys, l.compare)
+	f := l.batchFinger()
+	n := 0
+	for i, k := range keys {
+		v, ok := f.Get(p, k)
+		if ok {
+			n++
+		}
+		if vals != nil {
+			vals[i] = v
+		}
+		if found != nil {
+			found[i] = ok
+		}
+	}
+	l.putBatchFinger(f)
+	return n
+}
+
+// InsertBatch inserts every pair in items, sorting items in place by key
+// first; see List.InsertBatch.
+func (l *SkipList[K, V]) InsertBatch(p *Proc, items []KV[K, V], inserted []bool) int {
+	slices.SortFunc(items, func(a, b KV[K, V]) int { return l.compare(a.Key, b.Key) })
+	f := l.batchFinger()
+	n := 0
+	for i := range items {
+		_, ok := f.Insert(p, items[i].Key, items[i].Value)
+		if ok {
+			n++
+		}
+		if inserted != nil {
+			inserted[i] = ok
+		}
+	}
+	l.putBatchFinger(f)
+	return n
+}
+
+// DeleteBatch deletes every key in keys, sorting keys in place first; see
+// List.DeleteBatch.
+func (l *SkipList[K, V]) DeleteBatch(p *Proc, keys []K, deleted []bool) int {
+	slices.SortFunc(keys, l.compare)
+	f := l.batchFinger()
+	n := 0
+	for i, k := range keys {
+		_, ok := f.Delete(p, k)
+		if ok {
+			n++
+		}
+		if deleted != nil {
+			deleted[i] = ok
+		}
+	}
+	l.putBatchFinger(f)
+	return n
+}

@@ -115,6 +115,130 @@ func BenchmarkSkipListMixedParallel(b *testing.B) {
 	})
 }
 
+// Clustered workloads: each goroutine works through runs of keys confined
+// to a small window before jumping to a fresh one — the access pattern
+// fingers and sorted batches exist for. Every pb.Next() is one key
+// operation in both modes, so the perKey and batch64 ns/op compare
+// directly; the batch mode buffers clusterBatch keys and flushes them
+// through the finger-threaded batch call.
+const (
+	clusterWindow = 256
+	clusterBatch  = 64
+)
+
+func benchClustered(b *testing.B, n int, perKey func(p *Proc, k int), batch func(p *Proc, keys []int)) {
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(uint64(seed.Add(1)), 9))
+		p := &Proc{}
+		keys := make([]int, 0, clusterBatch)
+		base, left := 0, 0
+		for pb.Next() {
+			if left == 0 {
+				base = int(rng.Uint64N(uint64(n - clusterWindow)))
+				left = clusterBatch
+			}
+			k := base + int(rng.Uint64N(clusterWindow))
+			left--
+			if batch == nil {
+				perKey(p, k)
+				continue
+			}
+			keys = append(keys, k)
+			if len(keys) == clusterBatch {
+				batch(p, keys)
+				keys = keys[:0]
+			}
+		}
+		if len(keys) > 0 {
+			batch(p, keys)
+		}
+	})
+}
+
+func BenchmarkClusteredListGet(b *testing.B) {
+	const n = 8192
+	l := NewList[int, int]()
+	for k := 0; k < n; k++ {
+		l.Insert(nil, k, k)
+	}
+	b.Run("perKey", func(b *testing.B) {
+		benchClustered(b, n, func(p *Proc, k int) { l.Get(p, k) }, nil)
+	})
+	b.Run("batch64", func(b *testing.B) {
+		benchClustered(b, n, nil, func(p *Proc, keys []int) { l.GetBatch(p, keys, nil, nil) })
+	})
+}
+
+func BenchmarkClusteredSkipListGet(b *testing.B) {
+	const n = 65536
+	l := NewSkipList[int, int]()
+	for k := 0; k < n; k++ {
+		l.Insert(nil, k, k)
+	}
+	b.Run("perKey", func(b *testing.B) {
+		benchClustered(b, n, func(p *Proc, k int) { l.Get(p, k) }, nil)
+	})
+	b.Run("batch64", func(b *testing.B) {
+		benchClustered(b, n, nil, func(p *Proc, keys []int) { l.GetBatch(p, keys, nil, nil) })
+	})
+}
+
+// BenchmarkClusteredSkipListChurn covers the update half of the clustered
+// story: every key op is an insert immediately undone by a delete, per-key
+// or as sorted 64-element batches.
+func BenchmarkClusteredSkipListChurn(b *testing.B) {
+	const n = 65536
+	newPrefilled := func() *SkipList[int, int] {
+		l := NewSkipList[int, int]()
+		for k := 0; k < n; k += 2 {
+			l.Insert(nil, k, k)
+		}
+		return l
+	}
+	b.Run("perKey", func(b *testing.B) {
+		l := newPrefilled()
+		benchClustered(b, n, func(p *Proc, k int) {
+			l.Insert(p, k, k)
+			l.Delete(p, k)
+		}, nil)
+	})
+	b.Run("batch64", func(b *testing.B) {
+		l := newPrefilled()
+		var seed atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewPCG(uint64(seed.Add(1)), 9))
+			p := &Proc{}
+			buf := make([]KV[int, int], 0, clusterBatch)
+			keys := make([]int, 0, clusterBatch)
+			flush := func() {
+				l.InsertBatch(p, buf, nil)
+				l.DeleteBatch(p, keys, nil)
+				buf, keys = buf[:0], keys[:0]
+			}
+			base, left := 0, 0
+			for pb.Next() {
+				if left == 0 {
+					base = int(rng.Uint64N(uint64(n - clusterWindow)))
+					left = clusterBatch
+				}
+				k := base + int(rng.Uint64N(clusterWindow))
+				left--
+				buf = append(buf, KV[int, int]{Key: k, Value: k})
+				keys = append(keys, k)
+				if len(buf) == clusterBatch {
+					flush()
+				}
+			}
+			if len(buf) > 0 {
+				flush()
+			}
+		})
+	})
+}
+
 // BenchmarkSkipListMaxLevelAblation measures how the maxLevel cap affects
 // search cost at a fixed size - the design-choice ablation DESIGN.md calls
 // out (too low a cap degrades to O(n/2^max); too high wastes head links).

@@ -23,6 +23,10 @@ type List[K comparable, V any] struct {
 	// tel, when non-nil, receives one RecordOp flush per completed
 	// operation (see telemetry.go). Set before the list is shared.
 	tel *telemetry.Recorder
+	// retire, when non-nil, is called with each node whose physical-
+	// deletion C&S succeeded on this list - exactly once per node, from
+	// whichever goroutine won the C&S. Set before the list is shared.
+	retire func(node any)
 
 	// _ keeps the read-mostly header off whatever line the allocator
 	// places after it (and off size's shard slice header); size itself
@@ -78,6 +82,13 @@ func (l *List[K, V]) nodeLeq(n *Node[K, V], k K, strict bool) bool {
 	return c <= 0
 }
 
+// SetRetireHook attaches fn to the list's physical-deletion C&S site: fn
+// is called with each node whose unlinking C&S succeeds, exactly once per
+// node, from the goroutine that won the C&S (so fn must be safe for
+// concurrent use). This is the seam memory-reclamation schemes such as
+// internal/ebr hang on. Attach before the list is shared; nil detaches.
+func (l *List[K, V]) SetRetireHook(fn func(node any)) { l.retire = fn }
+
 // Len returns the number of keys in the list. The count is maintained at
 // linearization points (insertion C&S, marking C&S) on a sharded counter,
 // so it is exact in any quiescent state and within the number of in-flight
@@ -115,8 +126,16 @@ func (l *List[K, V]) get(p *Proc, k K) (V, bool) {
 // or the existing node and false if k is already present.
 // This is the paper's INSERT routine (Figure 5).
 func (l *List[K, V]) insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+	return l.insertFrom(p, k, v, l.head)
+}
+
+// insertFrom is insert with the initial search started at from instead of
+// the head. from must order <= k and must have been in the list at some
+// point (the head always qualifies); the paper's SearchFrom is correct
+// from any such node, which is what the finger and batch paths exploit.
+func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V], bool) {
 	st := p.StatsOrNil()
-	prev, next := l.searchFrom(p, k, l.head, false)
+	prev, next := l.searchFrom(p, k, from, false)
 	if l.cmpNode(prev, k) == 0 { // duplicate key
 		return prev, false
 	}
@@ -181,6 +200,13 @@ func (l *List[K, V]) remove(p *Proc, k K) (*Node[K, V], bool) {
 	if l.cmpNode(delNode, k) != 0 {                   // k is not in the list
 		return nil, false
 	}
+	return l.removeAt(p, prev, delNode)
+}
+
+// removeAt runs the three deletion steps against delNode, whose last known
+// predecessor is prev - the body of DELETE after the search (Figure 4).
+// Shared by remove and the finger/batch deletion paths.
+func (l *List[K, V]) removeAt(p *Proc, prev, delNode *Node[K, V]) (*Node[K, V], bool) {
 	prev, result := l.tryFlag(p, prev, delNode)
 	if prev != nil {
 		l.helpFlagged(p, prev, delNode)
@@ -242,8 +268,12 @@ func (l *List[K, V]) helpMarked(p *Proc, prevNode, delNode *Node[K, V]) {
 	p.StatsOrNil().IncCAS(ok)
 	if ok {
 		// The winning C&S is the unique moment delNode leaves the list:
-		// hand it to the process's reclamation scheme, if any.
+		// hand it to the process's reclamation scheme, if any, and to the
+		// structure-level retire hook (internal/ebr integration).
 		p.RetireNode(delNode)
+		if l.retire != nil {
+			l.retire(delNode)
+		}
 	}
 }
 

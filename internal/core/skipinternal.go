@@ -29,6 +29,9 @@ func (l *SkipList[K, V]) slHelpMarked(p *Proc, prevNode, delNode *SLNode[K, V]) 
 		// schemes retire per level-node (tower roots last, since levels
 		// above the root are always removed first by Delete's sweep).
 		p.RetireNode(delNode)
+		if l.retire != nil {
+			l.retire(delNode)
+		}
 	}
 }
 

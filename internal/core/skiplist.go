@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"math/bits"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
@@ -35,11 +36,17 @@ type SkipList[K comparable, V any] struct {
 	// tel, when non-nil, receives one RecordOp flush per completed
 	// operation (see telemetry.go). Set before the skip list is shared.
 	tel *telemetry.Recorder
+	// retire, when non-nil, is called with each level node whose physical-
+	// deletion C&S succeeded - exactly once per node, from whichever
+	// goroutine won the C&S. Set before the skip list is shared.
+	retire func(node any)
 
 	// _ keeps the read-mostly header above off mutable lines; size stripes
 	// its writes across padded per-P shards (see List.size).
 	_    [cacheLinePad]byte
 	size instrument.ShardedInt64
+	// fpool recycles the fingers threading batch operations (batch.go).
+	fpool sync.Pool
 }
 
 // SkipListOption configures a SkipList.
@@ -48,6 +55,7 @@ type SkipListOption func(*skipListConfig)
 type skipListConfig struct {
 	maxLevel int
 	rng      func() uint64
+	retire   func(node any)
 }
 
 // WithMaxLevel sets the head-tower height (interior towers grow to at most
@@ -64,6 +72,17 @@ func WithMaxLevel(maxLevel int) SkipListOption {
 // deterministic tests and the height-distribution experiment (E6).
 func WithRandomSource(rng func() uint64) SkipListOption {
 	return func(c *skipListConfig) { c.rng = rng }
+}
+
+// WithRetireHook attaches fn to every level's physical-deletion C&S site:
+// fn is called with each level node (*SLNode) whose unlinking C&S
+// succeeds, exactly once per node, from the goroutine that won the C&S
+// (so fn must be safe for concurrent use). Tower roots are retired last -
+// the descending search sweep removes levels >= 2 before the root's own
+// level-1 unlink. This is the seam memory-reclamation schemes such as
+// internal/ebr hang on.
+func WithRetireHook(fn func(node any)) SkipListOption {
+	return func(c *skipListConfig) { c.retire = fn }
 }
 
 // NewSkipList returns an empty skip list over a naturally ordered key
@@ -86,6 +105,7 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 		heads:    make([]*SLNode[K, V], cfg.maxLevel),
 		tails:    make([]*SLNode[K, V], cfg.maxLevel),
 		rng:      cfg.rng,
+		retire:   cfg.retire,
 	}
 	for i := 0; i < cfg.maxLevel; i++ {
 		l.heads[i] = &SLNode[K, V]{kind: kindHead, level: i + 1}
@@ -111,6 +131,10 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 	return l
 }
 
+// SetRetireHook attaches fn to every level's physical-deletion C&S site;
+// see WithRetireHook. Attach before the skip list is shared; nil detaches.
+func (l *SkipList[K, V]) SetRetireHook(fn func(node any)) { l.retire = fn }
+
 // Len returns the number of keys stored. Exact in quiescent states.
 func (l *SkipList[K, V]) Len() int { return int(l.size.Load()) }
 
@@ -133,10 +157,37 @@ func (l *SkipList[K, V]) randomHeight() int {
 	return min(h, l.maxLevel-1)
 }
 
+// slSearcher abstracts "locate (n1, n2) on level v": the skip list itself
+// searches from the top of the head tower, a SkipFinger (finger.go) from
+// its remembered predecessor towers. insert/remove/get are written against
+// this seam so the finger paths reuse the full operation bodies. Both
+// implementations are pointer types, so converting to the interface does
+// not allocate.
+type slSearcher[K comparable, V any] interface {
+	searchToLevel(p *Proc, k K, v int, strict bool) (*SLNode[K, V], *SLNode[K, V])
+	// sweep physically removes the superfluous remainder of k's deleted
+	// tower. It must traverse every nonempty level >= 2, approaching k
+	// from a strict predecessor on each, so that searchRight encounters
+	// the tower's node as a successor and completes its deletion - a
+	// start that lands on (or beyond) the node would strand it.
+	sweep(p *Proc, k K)
+}
+
+// sweep removes the superfluous tower of the deleted key k by descending
+// from the top of the structure, exactly the plain Delete's cleanup pass.
+func (l *SkipList[K, V]) sweep(p *Proc, k K) {
+	l.searchToLevel(p, k, 2, false)
+}
+
 // search is SEARCH_SL; Search in telemetry.go wraps it with the optional
 // metrics flush.
 func (l *SkipList[K, V]) search(p *Proc, k K) *SLNode[K, V] {
-	curr, _ := l.searchToLevel(p, k, 1, false)
+	return l.searchVia(p, l, k)
+}
+
+// searchVia is search with the level searches routed through s.
+func (l *SkipList[K, V]) searchVia(p *Proc, s slSearcher[K, V], k K) *SLNode[K, V] {
+	curr, _ := s.searchToLevel(p, k, 1, false)
 	if l.cmpNode(curr, k) == 0 {
 		return curr
 	}
@@ -178,7 +229,13 @@ func (l *SkipList[K, V]) get(p *Proc, k K) (V, bool) {
 // is already present. The insertion is linearized at the root node's
 // insertion C&S. This is INSERT_SL.
 func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
-	prev, next := l.searchToLevel(p, k, 1, false)
+	return l.insertVia(p, l, k, v)
+}
+
+// insertVia is insert with every level search routed through s (the skip
+// list itself, or a finger).
+func (l *SkipList[K, V]) insertVia(p *Proc, s slSearcher[K, V], k K, v V) (*SLNode[K, V], bool) {
+	prev, next := s.searchToLevel(p, k, 1, false)
 	if l.cmpNode(prev, k) == 0 {
 		return prev, false // duplicate key
 	}
@@ -208,7 +265,7 @@ func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 			// Duplicate at an upper level: it can only belong to a
 			// superfluous tower (or our root is marked, handled above).
 			// Re-search - which removes superfluous nodes - and retry.
-			prev, next = l.searchToLevel(p, k, lv, false)
+			prev, next = s.searchToLevel(p, k, lv, false)
 			continue
 		}
 		lv++
@@ -217,7 +274,7 @@ func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 		}
 		newNode = &SLNode[K, V]{key: k, level: lv, down: newNode, towerRoot: root}
 		newNode.intern()
-		prev, next = l.searchToLevel(p, k, lv, false)
+		prev, next = s.searchToLevel(p, k, lv, false)
 	}
 }
 
@@ -226,7 +283,12 @@ func (l *SkipList[K, V]) insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 // then sweeps levels >= 2 to physically remove the rest of the tower.
 // This is DELETE_SL.
 func (l *SkipList[K, V]) remove(p *Proc, k K) (*SLNode[K, V], bool) {
-	prev, delNode := l.searchToLevel(p, k, 1, true) // SearchToLevel_SL(k - eps, 1)
+	return l.removeVia(p, l, k)
+}
+
+// removeVia is remove with every level search routed through s.
+func (l *SkipList[K, V]) removeVia(p *Proc, s slSearcher[K, V], k K) (*SLNode[K, V], bool) {
+	prev, delNode := s.searchToLevel(p, k, 1, true) // SearchToLevel_SL(k - eps, 1)
 	if l.cmpNode(delNode, k) != 0 {
 		return nil, false // no such key
 	}
@@ -235,6 +297,6 @@ func (l *SkipList[K, V]) remove(p *Proc, k K) (*SLNode[K, V], bool) {
 	}
 	// Remove the superfluous nodes of the tower (top-down, as the
 	// descending search encounters them).
-	l.searchToLevel(p, k, 2, false)
+	s.sweep(p, k)
 	return delNode, true
 }

@@ -262,6 +262,20 @@ func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
 
 // AscendRange calls fn for keys in [from, to) in ascending order. It uses
 // the skip-list search to locate the start, then walks level 1.
+//
+// Under concurrent updates the scan is weakly consistent, with these
+// guarantees (pinned by TestAscendRangeConcurrent):
+//
+//   - every key fn sees is in [from, to), keys arrive in strictly
+//     ascending order, and no key is reported twice;
+//   - a key present with the same value for the whole duration of the
+//     call is reported, with that value (values are immutable once
+//     inserted, so a reported value is always one the key actually held);
+//   - a key inserted or deleted during the call may or may not be
+//     reported - the scan reflects some interleaving of the concurrent
+//     updates, never a torn state.
+//
+// fn returning false stops the iteration.
 func (l *SkipList[K, V]) AscendRange(p *Proc, from, to K, fn func(k K, v V) bool) {
 	if l.tel == nil {
 		l.ascendRange(p, from, to, fn)

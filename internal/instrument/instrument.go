@@ -26,6 +26,8 @@ type OpStats struct {
 	HelpCalls          uint64 // helping-routine invocations (diagnostic)
 	Restarts           uint64 // restart-from-head events (Harris-style)
 	AuxTraversals      uint64 // auxiliary-cell steps (Valois-style)
+	FingerHits         uint64 // finger searches started at the remembered node
+	FingerMisses       uint64 // finger searches that fell back to head/top
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -44,6 +46,8 @@ const (
 	CtrHelpCalls
 	CtrRestarts
 	CtrAuxTraversals
+	CtrFingerHits
+	CtrFingerMisses
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -59,6 +63,8 @@ var CounterNames = [NumCounters]string{
 	CtrHelpCalls:          "help_calls",
 	CtrRestarts:           "restarts",
 	CtrAuxTraversals:      "aux_traversals",
+	CtrFingerHits:         "finger_hits",
+	CtrFingerMisses:       "finger_misses",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -75,6 +81,8 @@ func (s *OpStats) Vector() Vector {
 		CtrHelpCalls:          s.HelpCalls,
 		CtrRestarts:           s.Restarts,
 		CtrAuxTraversals:      s.AuxTraversals,
+		CtrFingerHits:         s.FingerHits,
+		CtrFingerMisses:       s.FingerMisses,
 	}
 }
 
@@ -88,6 +96,8 @@ func (s *OpStats) FromVector(v Vector) {
 	s.HelpCalls = v[CtrHelpCalls]
 	s.Restarts = v[CtrRestarts]
 	s.AuxTraversals = v[CtrAuxTraversals]
+	s.FingerHits = v[CtrFingerHits]
+	s.FingerMisses = v[CtrFingerMisses]
 }
 
 // AddVector accumulates v into s.
@@ -102,9 +112,10 @@ func (s *OpStats) AddVector(v Vector) {
 // Essential reports whether the counter is billed as an essential step by
 // the paper's amortized analysis (Section 3.4). CAS attempts, backlink
 // traversals and next/curr updates are the FR list's essential steps;
-// auxiliary-cell traversals are Valois's analogue. Help calls, restarts and
-// C&S successes are diagnostic only (restart work is billed through the
-// next/curr updates the restarted search performs).
+// auxiliary-cell traversals are Valois's analogue. Help calls, restarts,
+// C&S successes and the finger hit/miss classifiers are diagnostic only
+// (restart and fallback work is billed through the next/curr updates the
+// search performs).
 func (c Counter) Essential() bool {
 	switch c {
 	case CtrCASAttempts, CtrBacklinkTraversals, CtrNextUpdates,
@@ -187,6 +198,22 @@ func (s *OpStats) IncRestart() {
 func (s *OpStats) IncAux() {
 	if s != nil {
 		s.AuxTraversals++
+	}
+}
+
+// IncFinger records one finger-accelerated search start: hit means the
+// search began at the finger's remembered node, miss that it fell back to
+// the head (list) or top (skip list). The search work itself is billed
+// through the usual next/curr/backlink counters; these two only classify
+// where it started.
+func (s *OpStats) IncFinger(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.FingerHits++
+	} else {
+		s.FingerMisses++
 	}
 }
 

@@ -6,12 +6,16 @@ import "repro/internal/core"
 // ordered by the given comparison function. compare must define a strict
 // total order consistent with ==: compare(a, b) == 0 iff a == b. Use this
 // for struct keys, reversed orders, or collations; NewList covers the
-// naturally ordered types. The only option that applies is WithTelemetry.
+// naturally ordered types. The options that apply are WithTelemetry and
+// WithRetireHook.
 func NewListFunc[K comparable, V any](compare func(K, K) int, opts ...Option) *ListFunc[K, V] {
 	cfg := applyConfig(opts)
 	l := core.NewListFunc[K, V](compare)
 	if cfg.tel != nil {
 		l.SetTelemetry(cfg.tel.Recorder())
+	}
+	if cfg.retire != nil {
+		l.SetRetireHook(cfg.retire)
 	}
 	return &ListFunc[K, V]{l: l}
 }

@@ -61,13 +61,16 @@ type List[K cmp.Ordered, V any] struct {
 
 var _ Map[int, any] = (*List[int, any])(nil)
 
-// NewList returns an empty list dictionary. The only option that applies
-// is WithTelemetry.
+// NewList returns an empty list dictionary. The options that apply are
+// WithTelemetry and WithRetireHook.
 func NewList[K cmp.Ordered, V any](opts ...Option) *List[K, V] {
 	cfg := applyConfig(opts)
 	l := core.NewList[K, V]()
 	if cfg.tel != nil {
 		l.SetTelemetry(cfg.tel.Recorder())
+	}
+	if cfg.retire != nil {
+		l.SetRetireHook(cfg.retire)
 	}
 	return &List[K, V]{l: l}
 }
@@ -116,6 +119,7 @@ type config struct {
 	maxLevel int
 	rng      func() uint64
 	tel      *telemetry.Telemetry
+	retire   func(node any)
 }
 
 // coreSkipListOpts translates the config for the core skip-list
@@ -127,6 +131,9 @@ func (c *config) coreSkipListOpts() []core.SkipListOption {
 	}
 	if c.rng != nil {
 		opts = append(opts, core.WithRandomSource(c.rng))
+	}
+	if c.retire != nil {
+		opts = append(opts, core.WithRetireHook(c.retire))
 	}
 	return opts
 }

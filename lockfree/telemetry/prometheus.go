@@ -42,6 +42,8 @@ var counterHelp = [itel.NumCounters]string{
 	"Total helping-routine invocations (HelpFlagged/HelpMarked).",
 	"Total restart-from-head events (Harris-style baselines; 0 for FR structures).",
 	"Total auxiliary-cell traversals (Valois-style baselines; 0 for FR structures).",
+	"Total finger searches started at the remembered node instead of the head/top.",
+	"Total finger searches that fell back to the head/top (key below the finger, or cold finger).",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given

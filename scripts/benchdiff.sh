@@ -2,7 +2,9 @@
 # benchdiff.sh - the perf gate: runs the tier-1 microbenchmarks on the
 # current tree and on a base commit, compares them, and fails on a mean
 # ns/op regression larger than the threshold on any benchmark both sides
-# share. Uses benchstat for the report when it is installed; the gate
+# share, or on an allocs/op regression beyond its own (tighter) threshold
+# - a structure that suddenly allocates is a bug even when it is not yet
+# slower. Uses benchstat for the report when it is installed; the gate
 # itself is a self-contained awk comparison so the script works on boxes
 # without benchstat (nothing is downloaded).
 #
@@ -15,6 +17,9 @@
 #   BENCHDIFF_COUNT           -count per side (default 5)
 #   BENCHDIFF_BENCHTIME       -benchtime per run (default 100ms)
 #   BENCHDIFF_MAX_REGRESSION  allowed mean slowdown in percent (default 5)
+#   BENCHDIFF_MAX_ALLOCS_REGRESSION  allowed mean allocs/op growth in
+#                             percent (default 10); a baseline of 0
+#                             allocs/op must stay at 0
 #   BENCHDIFF_PKG             package to bench (default ./internal/core)
 set -eu
 
@@ -30,10 +35,11 @@ if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
     BASE=$(git rev-parse HEAD~1)
 fi
 
-BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs)}"
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered)}"
 COUNT="${BENCHDIFF_COUNT:-5}"
 BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
 MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
+MAXALLOCREG="${BENCHDIFF_MAX_ALLOCS_REGRESSION:-10}"
 PKG="${BENCHDIFF_PKG:-./internal/core}"
 
 TMP=$(mktemp -d)
@@ -45,7 +51,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== benchdiff: HEAD (worktree) vs $(git rev-parse --short "$BASE") =="
-echo "   bench=$BENCH count=$COUNT benchtime=$BENCHTIME gate=${MAXREG}%"
+echo "   bench=$BENCH count=$COUNT benchtime=$BENCHTIME gate=${MAXREG}% allocs-gate=${MAXALLOCREG}%"
 
 echo "-- new (current tree) --"
 go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" "$PKG" \
@@ -64,10 +70,13 @@ if command -v benchstat >/dev/null 2>&1; then
     benchstat "$TMP/old.txt" "$TMP/new.txt" || true
 fi
 
-# The gate: average ns/op per benchmark name (CPU suffix stripped), joined
-# on the names present on both sides; new benchmarks (e.g. BenchmarkAllocs*
-# when the base predates them) are reported but cannot regress.
-awk -v maxreg="$MAXREG" '
+# The gate: average ns/op and allocs/op per benchmark name (CPU suffix
+# stripped), joined on the names present on both sides; new benchmarks
+# (e.g. BenchmarkAllocs* when the base predates them) are reported but
+# cannot regress. Time regresses past maxreg percent, allocations past
+# maxallocreg percent - and a benchmark whose baseline is 0 allocs/op
+# fails on ANY new allocation, since a percentage of zero gates nothing.
+awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
     /^Benchmark/ && /ns\/op/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
@@ -75,29 +84,37 @@ awk -v maxreg="$MAXREG" '
             if ($(i + 1) == "ns/op") {
                 if (FILENAME ~ /old\.txt$/) { oldsum[name] += $i; oldn[name]++ }
                 else                        { newsum[name] += $i; newn[name]++ }
-                break
+            }
+            if ($(i + 1) == "allocs/op") {
+                if (FILENAME ~ /old\.txt$/) { oldalloc[name] += $i; oldallocn[name]++ }
+                else                        { newalloc[name] += $i; newallocn[name]++ }
             }
         }
     }
     END {
         fails = 0
-        printf "%-40s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        printf "%-44s %12s %12s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"
         for (name in newsum) {
             new = newsum[name] / newn[name]
+            na = (name in newallocn) ? newalloc[name] / newallocn[name] : 0
             if (!(name in oldsum)) {
-                printf "%-40s %12s %12.1f %8s\n", name, "-", new, "new"
+                printf "%-44s %12s %12.1f %8s %10s %10.2f\n", name, "-", new, "new", "-", na
                 continue
             }
             old = oldsum[name] / oldn[name]
+            oa = (name in oldallocn) ? oldalloc[name] / oldallocn[name] : 0
             delta = (new - old) / old * 100
             flag = ""
-            if (delta > maxreg) { flag = "  << REGRESSION"; fails++ }
-            printf "%-40s %12.1f %12.1f %+7.1f%%%s\n", name, old, new, delta, flag
+            if (delta > maxreg) { flag = "  << REGRESSION (time)"; fails++ }
+            if ((oa == 0 && na > 0) || (oa > 0 && (na - oa) / oa * 100 > maxallocreg)) {
+                flag = flag "  << REGRESSION (allocs)"; fails++
+            }
+            printf "%-44s %12.1f %12.1f %+7.1f%% %10.2f %10.2f%s\n", name, old, new, delta, oa, na, flag
         }
         if (fails > 0) {
-            printf "benchdiff: %d benchmark(s) regressed more than %s%%\n", fails, maxreg > "/dev/stderr"
+            printf "benchdiff: %d regression(s) beyond %s%% time / %s%% allocs\n", fails, maxreg, maxallocreg > "/dev/stderr"
             exit 1
         }
-        print "benchdiff: no regression beyond " maxreg "%"
+        print "benchdiff: no regression beyond " maxreg "% time / " maxallocreg "% allocs"
     }
 ' "$TMP/old.txt" "$TMP/new.txt"
