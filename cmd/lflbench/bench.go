@@ -12,7 +12,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/obshttp"
+	"repro/internal/sharded"
 	"repro/internal/workload"
+	"repro/lockfree"
 	ltel "repro/lockfree/telemetry"
 )
 
@@ -44,8 +46,12 @@ type benchJSON struct {
 type benchRow struct {
 	// Machine-independent configuration first, measurements after, so
 	// diffs of the checked-in trajectory lead with what was run.
-	Impl     string `json:"impl"`
-	Threads  int    `json:"threads"`
+	Impl    string `json:"impl"`
+	Threads int    `json:"threads"`
+	// Shards is the shard count of the fr-sharded rows (1 is the routing-
+	// overhead control: one skip list behind the splitter layer); 0 for the
+	// unsharded implementations.
+	Shards   int    `json:"shards"`
 	Mix      string `json:"mix"`
 	KeyRange int    `json:"key_range"`
 	// Workload is "uniform" (independent uniform keys) or "clustered"
@@ -119,8 +125,20 @@ func (d benchSkip) insertBatch(items []core.KV[int, int]) int {
 func (d benchSkip) removeBatch(keys []int) int   { return d.l.DeleteBatch(nil, keys, nil) }
 func (d benchSkip) containsBatch(keys []int) int { return d.l.GetBatch(nil, keys, nil, nil) }
 
-func newBenchDict(impl string, tel *ltel.Telemetry) benchDict {
-	switch impl {
+type benchSharded struct{ m *sharded.Map[int, int] }
+
+func (d benchSharded) insert(k int) bool   { _, ok := d.m.Insert(nil, k, k); return ok }
+func (d benchSharded) remove(k int) bool   { _, ok := d.m.Delete(nil, k); return ok }
+func (d benchSharded) contains(k int) bool { _, ok := d.m.Get(nil, k); return ok }
+
+func (d benchSharded) insertBatch(items []core.KV[int, int]) int {
+	return d.m.InsertBatch(nil, items, nil)
+}
+func (d benchSharded) removeBatch(keys []int) int   { return d.m.DeleteBatch(nil, keys, nil) }
+func (d benchSharded) containsBatch(keys []int) int { return d.m.GetBatch(nil, keys, nil, nil) }
+
+func newBenchDict(cfg benchConfig, tel *ltel.Telemetry) benchDict {
+	switch cfg.impl {
 	case "fr-list":
 		l := core.NewList[int, int]()
 		l.SetTelemetry(tel.Recorder())
@@ -129,8 +147,12 @@ func newBenchDict(impl string, tel *ltel.Telemetry) benchDict {
 		l := core.NewSkipList[int, int]()
 		l.SetTelemetry(tel.Recorder())
 		return benchSkip{l}
+	case "fr-sharded":
+		m := sharded.New[int, int](lockfree.EqualSplitters(0, cfg.keyRange, cfg.shards))
+		m.SetTelemetry(tel.Recorder())
+		return benchSharded{m}
 	default:
-		panic("unknown bench implementation " + impl)
+		panic("unknown bench implementation " + cfg.impl)
 	}
 }
 
@@ -149,6 +171,7 @@ const (
 type benchConfig struct {
 	impl      string
 	threads   int
+	shards    int // fr-sharded only; 0 elsewhere
 	keyRange  int
 	ops       int
 	clustered bool
@@ -225,6 +248,27 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		}
 	}
 
+	// The sharded sweep: the range-partitioned map over 1 (the routing-
+	// overhead control), 4 and 8 skip-list shards on the read-heavy
+	// clustered mix, per-key and batched. The key range matches the
+	// skip list's clustered rows so the fr-sharded rows are directly
+	// comparable to the single-skip-list baseline above.
+	shardCounts, shardThreads, shardRange := []int{1, 4, 8}, []int{1, 4}, 65536
+	if quick {
+		shardCounts, shardThreads, shardRange = []int{1, 4}, []int{1, 2}, 8192
+	}
+	for _, sc := range shardCounts {
+		for _, th := range shardThreads {
+			for _, batch := range []int{0, clusterOps} {
+				cfgs = append(cfgs, benchConfig{
+					impl: "fr-sharded", threads: th, shards: sc,
+					keyRange: shardRange, ops: ops,
+					clustered: true, batch: batch,
+				})
+			}
+		}
+	}
+
 	out := benchJSON{
 		Schema:     "lflbench/v1",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -232,8 +276,8 @@ func runBenchJSON(path string, quick bool) (string, error) {
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered, ops=%d) ==\n",
 		workload.Balanced, clusteredMix, ops)
-	text += fmt.Sprintf("%-12s %-10s %6s %8s %10s %14s %10s %10s %12s %12s\n",
-		"impl", "workload", "batch", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
+	text += fmt.Sprintf("%-12s %-10s %6s %6s %8s %10s %14s %10s %10s %12s %12s\n",
+		"impl", "workload", "shards", "batch", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
 	for _, cfg := range cfgs {
 		row, err := benchOne(cfg)
 		if err != nil {
@@ -241,8 +285,8 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		}
 		out.Benchmarks = append(out.Benchmarks, row)
 		g := row.Latency["get"]
-		text += fmt.Sprintf("%-12s %-10s %6d %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
-			row.Impl, row.Workload, row.Batch, row.Threads, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
+		text += fmt.Sprintf("%-12s %-10s %6d %6d %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
+			row.Impl, row.Workload, row.Shards, row.Batch, row.Threads, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
 			row.AllocsPerOp, row.BytesPerOp,
 			time.Duration(g.P50NS), time.Duration(g.P99NS))
 	}
@@ -261,13 +305,13 @@ func runBenchJSON(path string, quick bool) (string, error) {
 // benchOne runs one instrumented configuration and reads its metrics back
 // out of the telemetry snapshot.
 func benchOne(cfg benchConfig) (benchRow, error) {
-	tel, err := newBenchTelemetry(fmt.Sprintf("bench-%s-%s-%d-%d",
-		cfg.impl, cfg.workload(), cfg.batch, cfg.threads), cfg.sampleEvery())
+	tel, err := newBenchTelemetry(fmt.Sprintf("bench-%s-%s-%d-%d-%d",
+		cfg.impl, cfg.workload(), cfg.shards, cfg.batch, cfg.threads), cfg.sampleEvery())
 	if err != nil {
 		return benchRow{}, err
 	}
 	defer tel.Unregister()
-	d := newBenchDict(cfg.impl, tel)
+	d := newBenchDict(cfg, tel)
 	for _, k := range workload.Prefill(cfg.keyRange) {
 		d.insert(k)
 	}
@@ -320,6 +364,7 @@ func benchOne(cfg benchConfig) (benchRow, error) {
 	row := benchRow{
 		Impl:                cfg.impl,
 		Threads:             cfg.threads,
+		Shards:              cfg.shards,
 		Mix:                 cfg.mix().String(),
 		KeyRange:            cfg.keyRange,
 		Workload:            cfg.workload(),

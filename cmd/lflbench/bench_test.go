@@ -33,13 +33,28 @@ func TestBenchJSONOutput(t *testing.T) {
 	if out.Schema != "lflbench/v1" {
 		t.Fatalf("schema = %q", out.Schema)
 	}
-	// quick mode: 2 impls x 2 thread counts, uniform plus the clustered
-	// per-key/batch pair: 2*2 + 2*2*2 rows.
-	if len(out.Benchmarks) != 12 {
-		t.Fatalf("rows = %d, want 12", len(out.Benchmarks))
+	// quick mode: 2 unsharded impls x 2 thread counts, uniform plus the
+	// clustered per-key/batch pair (2*2 + 2*2*2), then the sharded sweep
+	// (2 shard counts x 2 thread counts x per-key/batch): 12 + 8 rows.
+	if len(out.Benchmarks) != 20 {
+		t.Fatalf("rows = %d, want 20", len(out.Benchmarks))
 	}
-	batchRows := 0
+	batchRows, shardedRows := 0, 0
 	for _, row := range out.Benchmarks {
+		if row.Impl == "fr-sharded" {
+			shardedRows++
+			if row.Shards != 1 && row.Shards != 4 {
+				t.Fatalf("sharded row with shards = %d", row.Shards)
+			}
+			// Every sharded operation routes through the splitter layer and
+			// must be counted there, batched or not.
+			if row.Counters["shard_ops"] == 0 {
+				t.Fatalf("fr-sharded/%d/batch=%d: shard_ops not counted: %v",
+					row.Threads, row.Batch, row.Counters)
+			}
+		} else if row.Shards != 0 {
+			t.Fatalf("%s row with shards = %d", row.Impl, row.Shards)
+		}
 		switch row.Workload {
 		case "uniform", "clustered":
 		default:
@@ -80,8 +95,11 @@ func TestBenchJSONOutput(t *testing.T) {
 			t.Fatalf("%s/%d: quantiles p50=%d p99=%d", row.Impl, row.Threads, get.P50NS, get.P99NS)
 		}
 	}
-	if batchRows != 4 {
-		t.Fatalf("batch rows = %d, want 4", batchRows)
+	if batchRows != 8 {
+		t.Fatalf("batch rows = %d, want 8", batchRows)
+	}
+	if shardedRows != 8 {
+		t.Fatalf("sharded rows = %d, want 8", shardedRows)
 	}
 }
 
@@ -94,5 +112,26 @@ func TestRunBenchStageSelectable(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("bench stage did not write %s: %v", path, err)
+	}
+}
+
+// TestProfileFlags checks -cpuprofile and -memprofile produce non-empty
+// pprof files covering a run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-exp", "e2", "-quick", "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }

@@ -6,17 +6,22 @@
 // Usage:
 //
 //	lflbench [-exp e1,e2,...,bench|all] [-quick] [-json FILE] [-telemetry-addr HOST:PORT]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
 // full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
 // the live /metrics (Prometheus text) and /debug/vars (expvar) endpoints
-// while the run is in progress.
+// while the run is in progress. -cpuprofile records a pprof CPU profile
+// covering every selected experiment; -memprofile writes a heap profile
+// (after a forced GC) when the run completes. Both feed `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,8 +42,22 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	jsonPath := fs.String("json", "BENCH_lflbench.json", "output file for the bench stage's machine-readable results")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address during the run")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file when the run completes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	want := map[string]bool{}
@@ -97,6 +116,18 @@ func run(args []string) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, or all)")
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 	return nil
 }

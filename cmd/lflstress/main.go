@@ -6,8 +6,15 @@
 // Usage:
 //
 //	lflstress [-impl fr-skiplist] [-threads 8] [-ops 2000] [-keys 16]
-//	          [-rounds 20] [-seed 1] [-batch N] [-telemetry-addr HOST:PORT]
-//	          [-telemetry-every 5]
+//	          [-rounds 20] [-seed 1] [-batch N] [-shards S]
+//	          [-telemetry-addr HOST:PORT] [-telemetry-every 5]
+//
+// With -shards S (a power of two), the fr-skiplist implementation runs
+// behind the range-sharded map: the key space [0, keys) is split across S
+// skip-list shards with evenly spaced splitters, and every checked
+// operation — point or batch — routes through the splitter layer. The
+// history checker is unchanged: sharding must be invisible to
+// linearizability, which is exactly what the run verifies.
 //
 // With -telemetry-addr, the fr-list and fr-skiplist implementations run
 // with the live telemetry layer attached (exact recording, sampling
@@ -34,8 +41,10 @@ import (
 	"repro/internal/history"
 	"repro/internal/noflag"
 	"repro/internal/obshttp"
+	"repro/internal/sharded"
 	"repro/internal/sundell"
 	"repro/internal/valois"
+	"repro/lockfree"
 	ltel "repro/lockfree/telemetry"
 )
 
@@ -90,6 +99,19 @@ func (d frSkip) insertBatch(keys []int, res []bool) {
 func (d frSkip) removeBatch(keys []int, res []bool) { d.l.DeleteBatch(nil, keys, res) }
 func (d frSkip) searchBatch(keys []int, res []bool) { d.l.GetBatch(nil, keys, nil, res) }
 
+type frSharded struct{ m *sharded.Map[int, int] }
+
+func (d frSharded) insert(k int) bool { _, ok := d.m.Insert(nil, k, k); return ok }
+func (d frSharded) remove(k int) bool { _, ok := d.m.Delete(nil, k); return ok }
+func (d frSharded) search(k int) bool { return d.m.Search(nil, k) != nil }
+func (d frSharded) validate() error   { return d.m.CheckStructure() }
+
+func (d frSharded) insertBatch(keys []int, res []bool) {
+	d.m.InsertBatch(nil, kvs(keys), res)
+}
+func (d frSharded) removeBatch(keys []int, res []bool) { d.m.DeleteBatch(nil, keys, res) }
+func (d frSharded) searchBatch(keys []int, res []bool) { d.m.GetBatch(nil, keys, nil, res) }
+
 func kvs(keys []int) []core.KV[int, int] {
 	items := make([]core.KV[int, int], len(keys))
 	for i, k := range keys {
@@ -136,7 +158,22 @@ func (d noflagList) validate() error   { return nil }
 // newChecked builds the implementation under test. The primary structures
 // accept an optional telemetry instance (nil for none); the baselines have
 // no telemetry seam, so the flag only affects fr-list and fr-skiplist.
-func newChecked(impl string, tel *ltel.Telemetry) (checked, error) {
+// shards > 0 runs fr-skiplist behind the range-sharded map, splitting the
+// key space [0, keyRange) evenly across that many skip-list shards.
+func newChecked(impl string, shards, keyRange int, tel *ltel.Telemetry) (checked, error) {
+	if shards > 0 {
+		if impl != "fr-skiplist" {
+			return nil, fmt.Errorf("-shards applies only to fr-skiplist, not %q", impl)
+		}
+		if shards&(shards-1) != 0 {
+			return nil, fmt.Errorf("-shards %d: shard count must be a power of two", shards)
+		}
+		m := sharded.New[int, int](lockfree.EqualSplitters(0, keyRange, shards))
+		if tel != nil {
+			m.SetTelemetry(tel.Recorder())
+		}
+		return frSharded{m}, nil
+	}
 	switch impl {
 	case "fr-list":
 		l := core.NewList[int, int]()
@@ -174,6 +211,7 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 20, "independent rounds")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	batch := fs.Int("batch", 0, "issue operations as sorted N-key batches through the finger-threaded batch API (fr-list/fr-skiplist only); every element is still history-checked, so raise -keys to keep per-key segments under the checker limit")
+	shards := fs.Int("shards", 0, "run fr-skiplist behind the range-sharded map with this many shards (a power of two); 0 = unsharded")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
 	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
 	if err := fs.Parse(args); err != nil {
@@ -196,7 +234,7 @@ func run(args []string) error {
 
 	totalOps := 0
 	for round := 0; round < *rounds; round++ {
-		d, err := newChecked(*impl, tel)
+		d, err := newChecked(*impl, *shards, *keys, tel)
 		if err != nil {
 			return err
 		}

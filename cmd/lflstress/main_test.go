@@ -15,7 +15,7 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 		"fr-list", "fr-skiplist", "harris-list", "harris-skiplist",
 		"valois-list", "noflag-list",
 	} {
-		d, err := newChecked(impl, nil)
+		d, err := newChecked(impl, 0, 16, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
@@ -35,8 +35,45 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 }
 
 func TestNewCheckedUnknownImpl(t *testing.T) {
-	if _, err := newChecked("btree", nil); err == nil {
+	if _, err := newChecked("btree", 0, 16, nil); err == nil {
 		t.Fatal("unknown implementation accepted")
+	}
+}
+
+// TestRunShardedSmoke routes the per-key linearizability checker through
+// the range-sharded map: with -keys spanning several shards the rounds
+// exercise routing, splitter-boundary keys, and the quiescent structural
+// check (which includes the routing invariant), and every history must
+// still linearize — sharding has to be invisible to the checker.
+func TestRunShardedSmoke(t *testing.T) {
+	err := run([]string{"-impl", "fr-skiplist", "-threads", "4", "-ops", "200",
+		"-keys", "16", "-rounds", "2", "-shards", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedBatchSmoke combines -shards with -batch: sorted batches
+// split into per-shard sub-runs, and each element is still checked
+// individually.
+func TestRunShardedBatchSmoke(t *testing.T) {
+	err := run([]string{"-impl", "fr-skiplist", "-threads", "4", "-ops", "256",
+		"-keys", "128", "-rounds", "2", "-shards", "4", "-batch", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedBadFlags checks -shards rejects non-skiplist
+// implementations and non-power-of-two counts up front.
+func TestRunShardedBadFlags(t *testing.T) {
+	err := run([]string{"-impl", "fr-list", "-rounds", "1", "-shards", "4"})
+	if err == nil || !strings.Contains(err.Error(), "fr-skiplist") {
+		t.Fatalf("err = %v, want shards-impl error", err)
+	}
+	err = run([]string{"-impl", "fr-skiplist", "-rounds", "1", "-shards", "3"})
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("err = %v, want power-of-two error", err)
 	}
 }
 
@@ -96,7 +133,7 @@ func TestRunWithTelemetry(t *testing.T) {
 func TestTelemetryScrapeDuringStress(t *testing.T) {
 	tel := ltel.New("stress-scrape", ltel.WithSampleEvery(1)).PublishExpvar()
 	defer tel.Unregister()
-	d, err := newChecked("fr-skiplist", tel)
+	d, err := newChecked("fr-skiplist", 0, 16, tel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,115 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
+
+// These schedules aim an adversary at the seam the range-sharded map adds:
+// a key sitting exactly on a splitter, deleted while a batch that contains
+// it is in flight. The batch must stay per-element linearizable — the
+// element for the deleted key fails cleanly, every other element succeeds,
+// and both shards stay structurally valid.
+
+// TestShardedBoundaryKeyDeletedMidDeleteBatch parks a DeleteBatch right
+// before it flags the predecessor of the boundary key 16 (the first key of
+// shard 1), lets the adversary delete 16 completely, then releases the
+// batch: its flag C&S must fail, the recovery re-search must discover the
+// key gone, and the element must report false while the rest of the batch
+// completes.
+func TestShardedBoundaryKeyDeletedMidDeleteBatch(t *testing.T) {
+	m := sharded.New[int, int]([]int{16}, core.WithRandomSource(oneRng))
+	for k := 10; k <= 22; k++ {
+		m.Insert(nil, k, k)
+	}
+
+	c := NewController()
+	c.PauseAt(1, core.PtBeforeFlagCAS)
+	st := &core.OpStats{}
+	batcher := &core.Proc{ID: 1, Stats: st, Hooks: c.HooksFor()}
+
+	keys := []int{18, 14, 16, 17, 15} // sorts to [14 15 16 17 18]
+	deleted := make([]bool, len(keys))
+	res := make(chan int, 1)
+	go func() { res <- m.DeleteBatch(batcher, keys, deleted) }()
+
+	// Height-1 towers: each present element fires PtBeforeFlagCAS exactly
+	// once. Let the shard-0 elements 14 and 15 delete normally.
+	for i := 0; i < 2; i++ {
+		c.AwaitParked(1, core.PtBeforeFlagCAS)
+		c.Release(1)
+	}
+	// The batch has searched shard 1, located 16, and parked before the
+	// flag C&S. Delete the boundary key out from under it.
+	c.AwaitParked(1, core.PtBeforeFlagCAS)
+	if _, ok := m.Delete(nil, 16); !ok {
+		t.Fatal("adversary delete of boundary key 16 failed")
+	}
+	c.Release(1)
+	// Elements 17 and 18 proceed normally.
+	for i := 0; i < 2; i++ {
+		c.AwaitParked(1, core.PtBeforeFlagCAS)
+		c.Release(1)
+	}
+
+	if n := <-res; n != 4 {
+		t.Fatalf("DeleteBatch = %d, want 4 (boundary element lost its race)", n)
+	}
+	want := []bool{true, true, false, true, true}
+	for i, w := range want {
+		if deleted[i] != w {
+			t.Fatalf("deleted = %v, want %v (sorted keys %v)", deleted, want, keys)
+		}
+	}
+	if st.CASAttempts <= st.CASSuccesses {
+		t.Fatalf("schedule forced no failed C&S on the batch: %+v", st)
+	}
+	if got := m.Len(); got != 13-5 {
+		t.Fatalf("Len = %d, want %d", got, 13-5)
+	}
+	if err := m.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedBoundaryKeyDeletedDuringGetBatch deletes the boundary key
+// from inside the batch's own first search (an inline hook, the
+// finger_test idiom): the deletion happens in shard 1 while the batch is
+// still working shard 0, so when the batch's sub-run reaches shard 1 the
+// key is deterministically gone.
+func TestShardedBoundaryKeyDeletedDuringGetBatch(t *testing.T) {
+	m := sharded.New[int, int]([]int{16}, core.WithRandomSource(oneRng))
+	for k := 10; k <= 22; k++ {
+		m.Insert(nil, k, k)
+	}
+	fired := false
+	p := &core.Proc{Hooks: core.HookFunc(func(pt core.Point, pid int) {
+		if pt == core.PtSearchDone && !fired {
+			fired = true
+			if _, ok := m.Delete(nil, 16); !ok {
+				t.Errorf("hook delete of boundary key 16 failed")
+			}
+		}
+	})}
+
+	keys := []int{16, 18, 14, 17, 15}
+	vals := make([]int, len(keys))
+	found := make([]bool, len(keys))
+	if n := m.GetBatch(p, keys, vals, found); n != 4 {
+		t.Fatalf("GetBatch = %d, want 4", n)
+	}
+	want := []bool{true, true, false, true, true}
+	for i, w := range want {
+		if found[i] != w {
+			t.Fatalf("found = %v, want %v (sorted keys %v)", found, want, keys)
+		}
+		if w && vals[i] != keys[i] {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], keys[i])
+		}
+	}
+	if err := m.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/instrument"
+)
+
+// Adaptive backoff for the C&S retry loops. Lock-freedom guarantees
+// system-wide progress, but under heavy point contention every loser of a
+// C&S immediately re-searches and retries, and the losers' coherence
+// traffic slows the winner down — the paper's c(S) term turned into wasted
+// bus cycles. Classic exponential backoff (Anderson-style) trades a little
+// loser latency for a quieter line.
+//
+// The policy is deliberately conservative so the uncontended path stays
+// untouched: the first backoffAfter consecutive failures in one retry loop
+// are free (a single failure is the common benign race — somebody else
+// simply got there first), then the waits grow exponentially from
+// 1<<1 to 1<<backoffMaxShift busy iterations, and past that the goroutine
+// yields its P with runtime.Gosched so a descheduled winner can run. Every
+// wait is counted in OpStats.BackoffWaits (diagnostic, never essential:
+// waiting performs no shared-memory step).
+//
+// A casBackoff lives on the retry loop's stack frame — it is per
+// operation, not per structure, so it allocates nothing and needs no
+// synchronization.
+type casBackoff struct {
+	fails int
+}
+
+const (
+	// backoffAfter is the number of consecutive C&S failures a retry loop
+	// tolerates before its first wait. Two free failures keep the benign
+	// lost-race case (and the deliberate single-failure adversary
+	// schedules) completely wait-free.
+	backoffAfter = 2
+	// backoffMaxShift caps the busy-wait at 1<<backoffMaxShift iterations;
+	// failures beyond that yield the P instead of burning it.
+	backoffMaxShift = 6
+)
+
+// onFail records one failed C&S in this retry loop and waits according to
+// the escalation policy. st may be nil (uninstrumented callers).
+func (b *casBackoff) onFail(st *instrument.OpStats) {
+	b.fails++
+	d := b.fails - backoffAfter
+	if d <= 0 {
+		return
+	}
+	st.IncBackoff()
+	if d > backoffMaxShift {
+		runtime.Gosched()
+		return
+	}
+	backoffSpin(1 << d)
+}
+
+// backoffSpin burns n loop iterations without touching shared memory. The
+// gc compiler keeps empty counted loops (it deliberately does not eliminate
+// them), and noinline keeps the call from being folded into a caller the
+// optimizer could then reason about.
+//
+//go:noinline
+func backoffSpin(n int) {
+	for i := 0; i < n; i++ {
+	}
+}

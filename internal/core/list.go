@@ -140,6 +140,7 @@ func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V
 		return prev, false
 	}
 	newNode := makeNode(k, v)
+	var bo casBackoff
 	for {
 		prevSucc := prev.loadSucc()
 		if prevSucc.flagged {
@@ -163,6 +164,7 @@ func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V
 			// Failure (Insert lines 14-18): inspect the value that beat
 			// us and recover accordingly.
 			p.At(PtAfterInsertCASFail)
+			bo.onFail(st)
 			result := prev.loadSucc()
 			if result.flagged {
 				l.helpFlagged(p, prev, result.right)
@@ -177,6 +179,7 @@ func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V
 			// marked, or both. Walk backlinks past any marked nodes,
 			// then re-search from there (never from the head).
 			st.IncCAS(false) // the paper's C&S would have been attempted and failed
+			bo.onFail(st)
 			if prevSucc.marked {
 				for prev.marked() {
 					st.IncBacklink()
@@ -294,6 +297,7 @@ func (l *List[K, V]) helpFlagged(p *Proc, prevNode, delNode *Node[K, V]) {
 // (Figure 4, TRYMARK). On return delNode is marked.
 func (l *List[K, V]) tryMark(p *Proc, delNode *Node[K, V]) {
 	st := p.StatsOrNil()
+	var bo casBackoff
 	for {
 		s := delNode.loadSucc()
 		if s.marked {
@@ -311,6 +315,7 @@ func (l *List[K, V]) tryMark(p *Proc, delNode *Node[K, V]) {
 			l.size.Add(-1) // linearization point of the deletion
 			return
 		}
+		bo.onFail(st)
 	}
 }
 
@@ -323,6 +328,7 @@ func (l *List[K, V]) tryMark(p *Proc, delNode *Node[K, V]) {
 //   - (nil, false) if target was deleted from the list.
 func (l *List[K, V]) tryFlag(p *Proc, prev, target *Node[K, V]) (*Node[K, V], bool) {
 	st := p.StatsOrNil()
+	var bo casBackoff
 	for {
 		prevSucc := prev.loadSucc()
 		if prevSucc.right == target && !prevSucc.marked && prevSucc.flagged {
@@ -339,10 +345,12 @@ func (l *List[K, V]) tryFlag(p *Proc, prev, target *Node[K, V]) (*Node[K, V], bo
 			if result.right == target && !result.marked && result.flagged {
 				return prev, false // concurrent flagging won (lines 7-8)
 			}
+			bo.onFail(st)
 		} else {
 			// The paper's C&S at line 4 would have been attempted and
 			// failed with this value.
 			st.IncCAS(false)
+			bo.onFail(st)
 		}
 		// Possibly a failure due to marking: traverse backlinks to the
 		// first unmarked node (lines 9-10).

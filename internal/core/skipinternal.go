@@ -53,6 +53,7 @@ func (l *SkipList[K, V]) slHelpFlagged(p *Proc, prevNode, delNode *SLNode[K, V])
 // linearization point of the key's deletion.
 func (l *SkipList[K, V]) slTryMark(p *Proc, delNode *SLNode[K, V]) {
 	st := p.StatsOrNil()
+	var bo casBackoff
 	for {
 		s := delNode.loadSucc()
 		if s.marked {
@@ -71,6 +72,7 @@ func (l *SkipList[K, V]) slTryMark(p *Proc, delNode *SLNode[K, V]) {
 			}
 			return
 		}
+		bo.onFail(st)
 	}
 }
 
@@ -84,6 +86,7 @@ func (l *SkipList[K, V]) slTryMark(p *Proc, delNode *SLNode[K, V]) {
 // flag.
 func (l *SkipList[K, V]) tryFlagNode(p *Proc, prev, target *SLNode[K, V]) (*SLNode[K, V], flagStatus, bool) {
 	st := p.StatsOrNil()
+	var bo casBackoff
 	for {
 		prevSucc := prev.loadSucc()
 		if prevSucc.right == target && !prevSucc.marked && prevSucc.flagged {
@@ -100,8 +103,10 @@ func (l *SkipList[K, V]) tryFlagNode(p *Proc, prev, target *SLNode[K, V]) (*SLNo
 			if result.right == target && !result.marked && result.flagged {
 				return prev, flagStatusIn, false
 			}
+			bo.onFail(st)
 		} else {
 			st.IncCAS(false)
+			bo.onFail(st)
 		}
 		for prev.marked() {
 			st.IncBacklink()
@@ -126,6 +131,7 @@ func (l *SkipList[K, V]) insertNode(p *Proc, newNode, prev, next *SLNode[K, V]) 
 	if l.cmpNode(prev, newNode.key) == 0 {
 		return prev, false // duplicate key on this level
 	}
+	var bo casBackoff
 	for {
 		prevSucc := prev.loadSucc()
 		if prevSucc.flagged {
@@ -144,6 +150,7 @@ func (l *SkipList[K, V]) insertNode(p *Proc, newNode, prev, next *SLNode[K, V]) 
 				return prev, true
 			}
 			p.At(PtAfterInsertCASFail)
+			bo.onFail(st)
 			result := prev.loadSucc()
 			if result.flagged {
 				l.slHelpFlagged(p, prev, result.right)
@@ -155,6 +162,7 @@ func (l *SkipList[K, V]) insertNode(p *Proc, newNode, prev, next *SLNode[K, V]) 
 			}
 		} else {
 			st.IncCAS(false)
+			bo.onFail(st)
 			if prevSucc.marked {
 				for prev.marked() {
 					st.IncBacklink()

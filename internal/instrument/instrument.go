@@ -28,6 +28,8 @@ type OpStats struct {
 	AuxTraversals      uint64 // auxiliary-cell steps (Valois-style)
 	FingerHits         uint64 // finger searches started at the remembered node
 	FingerMisses       uint64 // finger searches that fell back to head/top
+	BackoffWaits       uint64 // adaptive-backoff wait events after repeated C&S failures
+	ShardOps           uint64 // operations routed to a shard of a range-sharded map
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -48,6 +50,8 @@ const (
 	CtrAuxTraversals
 	CtrFingerHits
 	CtrFingerMisses
+	CtrBackoffWaits
+	CtrShardOps
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -65,6 +69,8 @@ var CounterNames = [NumCounters]string{
 	CtrAuxTraversals:      "aux_traversals",
 	CtrFingerHits:         "finger_hits",
 	CtrFingerMisses:       "finger_misses",
+	CtrBackoffWaits:       "backoff_waits",
+	CtrShardOps:           "shard_ops",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -83,6 +89,8 @@ func (s *OpStats) Vector() Vector {
 		CtrAuxTraversals:      s.AuxTraversals,
 		CtrFingerHits:         s.FingerHits,
 		CtrFingerMisses:       s.FingerMisses,
+		CtrBackoffWaits:       s.BackoffWaits,
+		CtrShardOps:           s.ShardOps,
 	}
 }
 
@@ -98,6 +106,8 @@ func (s *OpStats) FromVector(v Vector) {
 	s.AuxTraversals = v[CtrAuxTraversals]
 	s.FingerHits = v[CtrFingerHits]
 	s.FingerMisses = v[CtrFingerMisses]
+	s.BackoffWaits = v[CtrBackoffWaits]
+	s.ShardOps = v[CtrShardOps]
 }
 
 // AddVector accumulates v into s.
@@ -113,9 +123,10 @@ func (s *OpStats) AddVector(v Vector) {
 // the paper's amortized analysis (Section 3.4). CAS attempts, backlink
 // traversals and next/curr updates are the FR list's essential steps;
 // auxiliary-cell traversals are Valois's analogue. Help calls, restarts,
-// C&S successes and the finger hit/miss classifiers are diagnostic only
-// (restart and fallback work is billed through the next/curr updates the
-// search performs).
+// C&S successes, the finger hit/miss classifiers, backoff waits and shard
+// routing counts are diagnostic only (restart and fallback work is billed
+// through the next/curr updates the search performs, and a backoff wait
+// performs no shared-memory step at all).
 func (c Counter) Essential() bool {
 	switch c {
 	case CtrCASAttempts, CtrBacklinkTraversals, CtrNextUpdates,
@@ -214,6 +225,24 @@ func (s *OpStats) IncFinger(hit bool) {
 		s.FingerHits++
 	} else {
 		s.FingerMisses++
+	}
+}
+
+// IncBackoff records one adaptive-backoff wait event: a retry loop that
+// observed repeated C&S failures yielded (spun or rescheduled) before its
+// next attempt. The wait itself performs no shared-memory steps, so it is
+// diagnostic, not essential.
+func (s *OpStats) IncBackoff() {
+	if s != nil {
+		s.BackoffWaits++
+	}
+}
+
+// IncShard records n operations routed to a shard of a range-sharded map
+// (one per point operation, the sub-run length per batch sub-run).
+func (s *OpStats) IncShard(n uint64) {
+	if s != nil {
+		s.ShardOps += n
 	}
 }
 

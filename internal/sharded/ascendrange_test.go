@@ -1,0 +1,214 @@
+package sharded
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestAscendDeterministicOrder pins the cross-shard iteration order in a
+// quiescent state: shard concatenation must produce one globally ascending
+// sequence, including keys that sit exactly on the splitters.
+func TestAscendDeterministicOrder(t *testing.T) {
+	m := New[int, int](quarters())
+	// Insert in deliberately shuffled order, covering each shard's ends.
+	keys := []int{
+		1023, 0, 256, 255, 512, 511, 768, 767, // boundaries of every shard
+		100, 900, 300, 600, 50, 700, 400, 200,
+	}
+	for _, k := range keys {
+		m.Insert(nil, k, k*3)
+	}
+	var got []int
+	m.Ascend(func(k, v int) bool {
+		if v != k*3 {
+			t.Errorf("Ascend reported key %d with value %d, want %d", k, v, k*3)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Ascend reported %d keys, want %d: %v", len(got), len(keys), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Ascend not globally ascending across shards: %v", got)
+		}
+	}
+	// Early stop must not spill into later shards.
+	var seen []int
+	m.Ascend(func(k, v int) bool {
+		seen = append(seen, k)
+		return k < 300 // stop inside shard 1
+	})
+	if last := seen[len(seen)-1]; last < 300 || last >= 512 {
+		t.Fatalf("early stop ended at key %d, want the first key >= 300 (shard 1)", last)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("stopped Ascend not ascending: %v", seen)
+		}
+	}
+}
+
+// TestAscendRangeAcrossShards pins the range scan over every boundary
+// shape: inside one shard, straddling one splitter, straddling all of
+// them, and degenerate/empty ranges.
+func TestAscendRangeAcrossShards(t *testing.T) {
+	m := New[int, int](quarters())
+	for k := 0; k < 1024; k += 2 { // even keys only
+		m.Insert(nil, k, k)
+	}
+	collect := func(from, to int) []int {
+		var got []int
+		m.AscendRange(nil, from, to, func(k, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		return got
+	}
+	check := func(from, to int, got []int) {
+		t.Helper()
+		want := 0
+		for k := from; k < to; k++ {
+			if k >= 0 && k < 1024 && k%2 == 0 {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("AscendRange(%d,%d) reported %d keys, want %d: %v", from, to, len(got), want, got)
+		}
+		for i, k := range got {
+			if k < from || k >= to {
+				t.Fatalf("AscendRange(%d,%d) reported out-of-range key %d", from, to, k)
+			}
+			if i > 0 && got[i-1] >= k {
+				t.Fatalf("AscendRange(%d,%d) not ascending: %v", from, to, got)
+			}
+		}
+	}
+	check(10, 30, collect(10, 30))       // inside shard 0
+	check(250, 270, collect(250, 270))   // straddles splitter 256
+	check(500, 780, collect(500, 780))   // straddles splitters 512 and 768
+	check(0, 1024, collect(0, 1024))     // everything
+	check(-50, 2000, collect(-50, 2000)) // beyond both ends
+	check(255, 257, collect(255, 257))   // the splitter key and its neighbors
+	if got := collect(256, 256); got != nil {
+		t.Fatalf("empty range reported %v", got)
+	}
+	if got := collect(300, 200); got != nil {
+		t.Fatalf("inverted range reported %v", got)
+	}
+	// Early stop inside the middle of a multi-shard scan.
+	var seen []int
+	m.AscendRange(nil, 200, 900, func(k, v int) bool {
+		seen = append(seen, k)
+		return len(seen) < 10
+	})
+	if len(seen) != 10 {
+		t.Fatalf("stopped scan reported %d keys, want 10", len(seen))
+	}
+}
+
+// TestAscendRangeConcurrentSharded mirrors the core skip list's
+// TestAscendRangeConcurrent across shard boundaries: churners hammer keys
+// around and on the splitters while scanners walk a range spanning all
+// four shards, checking the weak-consistency contract — in-range, strictly
+// ascending, no duplicates, stable keys always present with their original
+// values.
+func TestAscendRangeConcurrentSharded(t *testing.T) {
+	const (
+		span = 1024
+		from = 130 // shard 0, churnable (not a multiple of 4)
+		to   = 899 // shard 3, churnable
+	)
+	m := New[int, int](quarters())
+	// Keys k%4 == 0 are stable: inserted once, never touched again. The
+	// splitters 256/512/768 are multiples of 4, so every shard-boundary
+	// key is stable and MUST be seen by every scan; the churn hits the
+	// keys on either side of each boundary.
+	for k := 0; k < span; k += 4 {
+		m.Insert(nil, k, k*3)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 3))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var k int
+				if rng.IntN(4) == 0 {
+					// Bias a quarter of the churn onto the splitters'
+					// immediate neighbors, the cross-shard handoff points.
+					s := quarters()[rng.IntN(3)]
+					k = s + 1 - 2*rng.IntN(2) // s-1 or s+1
+				} else {
+					k = rng.IntN(span)
+					if k%4 == 0 {
+						k++ // never touch the stable keys
+					}
+				}
+				if rng.IntN(2) == 0 {
+					m.Insert(nil, k, k*3)
+				} else {
+					m.Delete(nil, k)
+				}
+			}
+		}(w)
+	}
+
+	var scans sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		scans.Add(1)
+		go func() {
+			defer scans.Done()
+			for r := 0; r < 150; r++ {
+				last := from - 1
+				seen := 0
+				m.AscendRange(nil, from, to, func(k, v int) bool {
+					if k < from || k >= to {
+						t.Errorf("scan reported key %d outside [%d, %d)", k, from, to)
+					}
+					if k <= last {
+						t.Errorf("scan reported key %d after %d: not strictly ascending", k, last)
+					}
+					if v != k*3 {
+						t.Errorf("scan reported key %d with value %d, want %d", k, v, k*3)
+					}
+					for s := stableAfter(last); s < k; s += 4 {
+						t.Errorf("scan skipped stable key %d (between %d and %d)", s, last, k)
+					}
+					last = k
+					seen++
+					return true
+				})
+				for s := stableAfter(last); s < to; s += 4 {
+					t.Errorf("scan skipped stable key %d at the tail of the range", s)
+				}
+				if seen < (to-from)/4 {
+					t.Errorf("scan saw %d keys, fewer than the %d stable ones", seen, (to-from)/4)
+				}
+			}
+		}()
+	}
+	scans.Wait()
+	close(stop)
+	churn.Wait()
+	if err := m.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stableAfter returns the smallest stable key (multiple of 4) strictly
+// greater than k.
+func stableAfter(k int) int {
+	return (k/4)*4 + 4
+}

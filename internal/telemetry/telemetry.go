@@ -217,6 +217,17 @@ func (r *Recorder) RecordOp(op Op, st *instrument.OpStats, elapsed time.Duration
 	o.retries[retryBucket(retries)].Add(1)
 }
 
+// AddCounter adds n directly to one vocabulary counter, bypassing the
+// per-operation flush path. Layers above the core structures (e.g. the
+// range-sharded map's routing accounting) use it for counters that do not
+// belong to any single inner operation's OpStats. Exact, never sampled.
+func (r *Recorder) AddCounter(c instrument.Counter, n uint64) {
+	if n == 0 {
+		return
+	}
+	r.shards[shardIndex()&r.mask].counters[c].Add(n)
+}
+
 // OpToken carries per-operation state from StartOp to FinishOp. Tokens
 // must not outlive the operation or be reused.
 type OpToken struct {

@@ -44,6 +44,8 @@ var counterHelp = [itel.NumCounters]string{
 	"Total auxiliary-cell traversals (Valois-style baselines; 0 for FR structures).",
 	"Total finger searches started at the remembered node instead of the head/top.",
 	"Total finger searches that fell back to the head/top (key below the finger, or cold finger).",
+	"Total adaptive-backoff waits (spin or yield) taken after repeated C&S failures.",
+	"Total operations routed to shards of range-sharded maps (one per point op, one per batch element).",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given

@@ -20,7 +20,9 @@
 #   BENCHDIFF_MAX_ALLOCS_REGRESSION  allowed mean allocs/op growth in
 #                             percent (default 10); a baseline of 0
 #                             allocs/op must stay at 0
-#   BENCHDIFF_PKG             package to bench (default ./internal/core)
+#   BENCHDIFF_PKG             packages to bench (default ./internal/core
+#                             ./internal/sharded); packages absent from the
+#                             base commit are benched on the new side only
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,12 +37,12 @@ if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
     BASE=$(git rev-parse HEAD~1)
 fi
 
-BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered)}"
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded)}"
 COUNT="${BENCHDIFF_COUNT:-5}"
 BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
 MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
 MAXALLOCREG="${BENCHDIFF_MAX_ALLOCS_REGRESSION:-10}"
-PKG="${BENCHDIFF_PKG:-./internal/core}"
+PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded}"
 
 TMP=$(mktemp -d)
 WORKTREE="$TMP/base"
@@ -54,12 +56,29 @@ echo "== benchdiff: HEAD (worktree) vs $(git rev-parse --short "$BASE") =="
 echo "   bench=$BENCH count=$COUNT benchtime=$BENCHTIME gate=${MAXREG}% allocs-gate=${MAXALLOCREG}%"
 
 echo "-- new (current tree) --"
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" "$PKG" \
+# $PKG is intentionally unquoted: it is a whitespace-separated package list.
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" $PKG \
     | tee "$TMP/new.txt" | grep -c '^Benchmark' >/dev/null
 
 echo "-- old ($BASE) --"
 git worktree add --detach --quiet "$WORKTREE" "$BASE"
-(cd "$WORKTREE" && go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" "$PKG") \
+# Bench only the packages that exist at the base commit: a package added
+# since then (e.g. internal/sharded the PR that introduced it) has nothing
+# to regress against, and letting it fail the old-side run would silently
+# skip the whole gate.
+OLDPKG=""
+for p in $PKG; do
+    if [ -d "$WORKTREE/${p#./}" ]; then
+        OLDPKG="$OLDPKG $p"
+    else
+        echo "   (skipping $p: absent at base — new-side only)"
+    fi
+done
+if [ -z "$OLDPKG" ]; then
+    echo "benchdiff: no benched package exists at the base commit; nothing to gate" >&2
+    exit 0
+fi
+(cd "$WORKTREE" && go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -benchtime "$BENCHTIME" $OLDPKG) \
     | tee "$TMP/old.txt" | grep -c '^Benchmark' >/dev/null || {
     echo "benchdiff: base commit could not run the benchmark set; nothing to gate" >&2
     exit 0

@@ -23,6 +23,14 @@ go test ./...
 echo "== race: go test -race ./... =="
 go test -race ./...
 
+# The sharded map's parallel batch fan-out changes shape with the core
+# count (it is sequential unless at least two sub-runs are nonempty and the
+# map was built with GOMAXPROCS > 1): race it at both a small and a large
+# core count so both the sequential and the fanned-out paths are covered.
+echo "== race: sharded fan-out at GOMAXPROCS=2 and GOMAXPROCS=8 =="
+GOMAXPROCS=2 go test -race -count=1 ./internal/sharded
+GOMAXPROCS=8 go test -race -count=1 ./internal/sharded
+
 if [ "${BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff: perf gate =="
     scripts/benchdiff.sh
