@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-shards", "3"}, "power of two"},
+		{[]string{"-shards", "0"}, "power of two"},
+		{[]string{"-key-lo", "10", "-key-hi", "10"}, "must exceed"},
+		{[]string{"-addr", "256.256.256.256:1"}, ""},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Fatalf("run(%v) succeeded, want error", tc.args)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("run(%v) = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// freePort reserves a loopback port and releases it for the command under
+// test. The window between Close and the server's bind is racy in theory;
+// on a quiet test host it is dependable enough for a smoke test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunServesAndDrainsOnSignal runs the real command loop: serve the
+// protocol, answer admin probes, then drain cleanly on SIGTERM.
+func TestRunServesAndDrainsOnSignal(t *testing.T) {
+	addr, admin := freePort(t), freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-admin-addr", admin,
+			"-shards", "2", "-key-hi", "1024", "-drain-timeout", "5s"})
+	}()
+
+	var nc net.Conn
+	var err error
+	for i := 0; i < 200; i++ {
+		if nc, err = net.Dial("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	if _, err := fmt.Fprintf(nc, "SET 1 one\nGET 1\nPING\n"); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{":1\n", "$one\n", "+PONG\n"} {
+		line, err := br.ReadString('\n')
+		if err != nil || line != want {
+			t.Fatalf("response %d = %q (%v), want %q", i, line, err, want)
+		}
+	}
+
+	resp, err := http.Get("http://" + admin + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d %q, want 200", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	// The drain closed the idle connection we still hold.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("connection still open after drain")
+	}
+}

@@ -7,7 +7,16 @@
 //
 //	lflstress [-impl fr-skiplist] [-threads 8] [-ops 2000] [-keys 16]
 //	          [-rounds 20] [-seed 1] [-batch N] [-shards S]
+//	          [-server ADDR|self]
 //	          [-telemetry-addr HOST:PORT] [-telemetry-every 5]
+//
+// With -server, lflstress becomes a network client: every worker opens its
+// own TCP connection to a lflserver and issues its operations as pipelined
+// runs (depth -batch, default 16), and every response is still checked for
+// linearizability — the serving layer, like sharding, must be invisible to
+// the checker. -server self starts a fresh in-process server per round
+// (sharded by -shards, default 4) and additionally asserts that graceful
+// shutdown drains with zero dropped in-flight responses.
 //
 // With -shards S (a power of two), the fr-skiplist implementation runs
 // behind the range-sharded map: the key space [0, keys) is split across S
@@ -35,12 +44,14 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harris"
 	"repro/internal/history"
 	"repro/internal/noflag"
 	"repro/internal/obshttp"
+	"repro/internal/server"
 	"repro/internal/sharded"
 	"repro/internal/sundell"
 	"repro/internal/valois"
@@ -212,6 +223,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "base random seed")
 	batch := fs.Int("batch", 0, "issue operations as sorted N-key batches through the finger-threaded batch API (fr-list/fr-skiplist only); every element is still history-checked, so raise -keys to keep per-key segments under the checker limit")
 	shards := fs.Int("shards", 0, "run fr-skiplist behind the range-sharded map with this many shards (a power of two); 0 = unsharded")
+	srvAddr := fs.String("server", "", "drive a lflserver over TCP at this address instead of an in-process structure; \"self\" starts and gracefully drains an in-process server each round")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
 	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
 	if err := fs.Parse(args); err != nil {
@@ -224,12 +236,19 @@ func run(args []string) error {
 		// sampled estimate.
 		tel = ltel.New("lflstress", ltel.WithSampleEvery(1)).PublishExpvar()
 		defer tel.Unregister()
-		bound, stop, err := obshttp.Serve(*telAddr)
+		admin, err := obshttp.ServeAdmin(*telAddr, nil, nil)
 		if err != nil {
 			return err
 		}
-		defer stop()
-		fmt.Printf("telemetry: serving /metrics and /debug/vars on http://%s\n", bound)
+		// Same drain path as the protocol listener in lflserver: in-flight
+		// scrapes finish before the process exits.
+		defer server.GracefulShutdown(2*time.Second, admin)
+		fmt.Printf("telemetry: serving /metrics and /debug/vars on http://%s\n", admin.Addr())
+	}
+
+	if *srvAddr != "" {
+		return runServerMode(*srvAddr, *threads, *ops, *keys, *rounds, *seed,
+			*batch, *shards, tel, *telEvery)
 	}
 
 	totalOps := 0

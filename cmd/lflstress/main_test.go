@@ -108,6 +108,38 @@ func TestRunBatchUnsupportedImpl(t *testing.T) {
 	}
 }
 
+// TestRunServerSelfSmoke is the end-to-end serving gate: several
+// concurrent connections (one per worker) drive pipelined mixed workloads
+// through a live TCP server, every history must linearize, and each
+// round's graceful drain must complete with zero dropped in-flight
+// responses. scripts/check.sh runs this under -race.
+func TestRunServerSelfSmoke(t *testing.T) {
+	err := run([]string{"-server", "self", "-threads", "6", "-ops", "300",
+		"-keys", "64", "-rounds", "2", "-batch", "8", "-shards", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunServerSelfWithTelemetry adds the observability path on top: the
+// in-process server and its store share the recorder, so the run must
+// count coalesced commands without disturbing the checking.
+func TestRunServerSelfWithTelemetry(t *testing.T) {
+	err := run([]string{"-server", "self", "-threads", "4", "-ops", "200",
+		"-keys", "64", "-rounds", "2", "-batch", "8",
+		"-telemetry-addr", "127.0.0.1:0", "-telemetry-every", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunServerBadShards(t *testing.T) {
+	err := run([]string{"-server", "self", "-rounds", "1", "-shards", "3"})
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("err = %v, want power-of-two error", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-impl", "nope"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown -impl") {

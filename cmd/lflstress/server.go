@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/server"
+	"repro/lockfree"
+	ltel "repro/lockfree/telemetry"
+)
+
+// runServerMode is the -server client: it drives a lflserver over TCP with
+// the same mixed workload and checks every response against the
+// linearizability checker. Each worker owns one connection and writes its
+// commands in pipelined runs, so the server-side coalescer turns them into
+// sorted batch calls; every command is recorded with Begin before its
+// pipeline hits the wire and End after its response is read, so the
+// recorded window contains the server-side linearization point and the
+// history check stays sound.
+//
+// addr "self" starts a fresh in-process server per round on a loopback
+// port and, after the workers close, asserts the graceful drain completes
+// with zero dropped in-flight responses. Any other addr drives an external
+// server; each round then shifts its keys by round*keyRange so rounds do
+// not see each other's leftovers, and sweeps its slice with DELs first so
+// state from before the run (the checker assumes an empty history per key)
+// cannot fail round 0.
+func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64, pipeline, shards int, tel *ltel.Telemetry, telEvery int) error {
+	if pipeline <= 0 {
+		pipeline = 16
+	}
+	if shards == 0 {
+		shards = 4
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		return fmt.Errorf("-shards %d: shard count must be a power of two", shards)
+	}
+	totalOps := 0
+	for round := 0; round < rounds; round++ {
+		target, keyBase := addr, round*keyRange
+		var srv *server.Server
+		if addr == "self" {
+			var opts []lockfree.Option
+			if tel != nil {
+				opts = append(opts, lockfree.WithTelemetry(tel))
+			}
+			var store server.Store
+			if shards > 1 {
+				store = lockfree.NewShardedSkipList[int, string](
+					lockfree.EqualSplitters(0, keyRange, shards), opts...)
+			} else {
+				store = lockfree.NewSkipList[int, string](opts...)
+			}
+			srv = server.New(server.Config{}, store)
+			if tel != nil {
+				srv.SetTelemetry(tel.Recorder())
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go srv.Serve(ln)
+			target, keyBase = ln.Addr().String(), 0
+		} else if err := clearKeys(target, keyBase, keyRange); err != nil {
+			return fmt.Errorf("round %d: clearing [%d, %d): %w", round, keyBase, keyBase+keyRange, err)
+		}
+
+		rec := history.NewRecorder(threads, ops)
+		errs := make([]error, threads)
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(seed+uint64(round), uint64(w)))
+				errs[w] = runServerWorker(target, rec.Thread(w), rng, ops, keyRange, keyBase, pipeline)
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				return fmt.Errorf("round %d worker %d: %w", round, w, err)
+			}
+		}
+		if srv != nil {
+			// The zero-dropped-responses half of the guarantee is asserted by
+			// every worker above; here the drain itself must finish cleanly.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("round %d: graceful drain incomplete: %w", round, err)
+			}
+		}
+		if err := history.Check(rec.Ops()); err != nil {
+			if _, dense := err.(*history.ErrTooDense); dense {
+				fmt.Printf("round %d: %v (inconclusive; lower -ops or raise -keys)\n", round, err)
+				continue
+			}
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		totalOps += threads * ops
+		if tel != nil && telEvery > 0 && (round+1)%telEvery == 0 {
+			printTelemetryDelta(round+1, tel.Delta())
+		}
+	}
+	fmt.Printf("ok: server %s passed %d rounds, %d checked operations over TCP, all histories linearizable\n",
+		addr, rounds, totalOps)
+	return nil
+}
+
+// runServerWorker drives one connection for one round: pipelined runs of
+// up to `pipeline` mixed commands, every response matched to its request
+// positionally. A missing response — a dropped in-flight command — is an
+// error, which is what makes the -server self rounds a graceful-drain
+// check as well as a linearizability one.
+func runServerWorker(target string, th *history.Thread, rng *rand.Rand, ops, keyRange, keyBase, pipeline int) error {
+	nc, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	var req bytes.Buffer
+	pend := make([]history.Op, 0, pipeline)
+	for i := 0; i < ops; {
+		c := min(pipeline, ops-i)
+		req.Reset()
+		pend = pend[:0]
+		for j := 0; j < c; j++ {
+			k := int(rng.Uint64N(uint64(keyRange)))
+			var kind history.Kind
+			switch rng.Uint64N(3) {
+			case 0:
+				kind = history.KindInsert
+				fmt.Fprintf(&req, "SET %d v\n", keyBase+k)
+			case 1:
+				kind = history.KindDelete
+				fmt.Fprintf(&req, "DEL %d\n", keyBase+k)
+			default:
+				kind = history.KindSearch
+				fmt.Fprintf(&req, "GET %d\n", keyBase+k)
+			}
+			pend = append(pend, th.Begin(kind, k))
+		}
+		if _, err := nc.Write(req.Bytes()); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		for j := 0; j < c; j++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("response %d/%d dropped in flight: %w", j, c, err)
+			}
+			ok, err := parseReply(strings.TrimSuffix(line, "\n"))
+			if err != nil {
+				return err
+			}
+			th.End(pend[j], ok)
+		}
+		i += c
+	}
+	nc.Write([]byte("QUIT\n"))
+	br.ReadString('\n')
+	return nil
+}
+
+// clearKeys deletes every key in [keyBase, keyBase+keyRange) on an
+// external server before a round records anything, in pipelined chunks.
+func clearKeys(target string, keyBase, keyRange int) error {
+	nc, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	var req bytes.Buffer
+	for lo := keyBase; lo < keyBase+keyRange; lo += 256 {
+		hi := min(lo+256, keyBase+keyRange)
+		req.Reset()
+		for k := lo; k < hi; k++ {
+			fmt.Fprintf(&req, "DEL %d\n", k)
+		}
+		if _, err := nc.Write(req.Bytes()); err != nil {
+			return err
+		}
+		for k := lo; k < hi; k++ {
+			if _, err := br.ReadString('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseReply maps a response line to the boolean the history checker
+// records: integer and value replies carry the result, an -ERR means the
+// client sent something the protocol rejects — a driver bug, not a
+// checkable outcome.
+func parseReply(line string) (bool, error) {
+	switch {
+	case strings.HasPrefix(line, ":"):
+		return line == ":1", nil
+	case strings.HasPrefix(line, "$"):
+		return true, nil
+	case line == "_":
+		return false, nil
+	default:
+		return false, fmt.Errorf("unexpected reply %q", line)
+	}
+}

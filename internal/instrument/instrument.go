@@ -30,6 +30,10 @@ type OpStats struct {
 	FingerMisses       uint64 // finger searches that fell back to head/top
 	BackoffWaits       uint64 // adaptive-backoff wait events after repeated C&S failures
 	ShardOps           uint64 // operations routed to a shard of a range-sharded map
+	ConnAccepted       uint64 // network connections accepted by a serving layer
+	ConnActive         uint64 // network connections currently open (gauge, not monotonic)
+	ConnRejected       uint64 // connections shed at accept time (connection cap)
+	CmdsCoalesced      uint64 // pipelined commands absorbed into batch calls
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -52,6 +56,10 @@ const (
 	CtrFingerMisses
 	CtrBackoffWaits
 	CtrShardOps
+	CtrConnAccepted
+	CtrConnActive
+	CtrConnRejected
+	CtrCmdsCoalesced
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -71,6 +79,10 @@ var CounterNames = [NumCounters]string{
 	CtrFingerMisses:       "finger_misses",
 	CtrBackoffWaits:       "backoff_waits",
 	CtrShardOps:           "shard_ops",
+	CtrConnAccepted:       "conn_accepted",
+	CtrConnActive:         "conn_active",
+	CtrConnRejected:       "conn_rejected",
+	CtrCmdsCoalesced:      "cmds_coalesced",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -91,6 +103,10 @@ func (s *OpStats) Vector() Vector {
 		CtrFingerMisses:       s.FingerMisses,
 		CtrBackoffWaits:       s.BackoffWaits,
 		CtrShardOps:           s.ShardOps,
+		CtrConnAccepted:       s.ConnAccepted,
+		CtrConnActive:         s.ConnActive,
+		CtrConnRejected:       s.ConnRejected,
+		CtrCmdsCoalesced:      s.CmdsCoalesced,
 	}
 }
 
@@ -108,6 +124,10 @@ func (s *OpStats) FromVector(v Vector) {
 	s.FingerMisses = v[CtrFingerMisses]
 	s.BackoffWaits = v[CtrBackoffWaits]
 	s.ShardOps = v[CtrShardOps]
+	s.ConnAccepted = v[CtrConnAccepted]
+	s.ConnActive = v[CtrConnActive]
+	s.ConnRejected = v[CtrConnRejected]
+	s.CmdsCoalesced = v[CtrCmdsCoalesced]
 }
 
 // AddVector accumulates v into s.
@@ -123,10 +143,12 @@ func (s *OpStats) AddVector(v Vector) {
 // the paper's amortized analysis (Section 3.4). CAS attempts, backlink
 // traversals and next/curr updates are the FR list's essential steps;
 // auxiliary-cell traversals are Valois's analogue. Help calls, restarts,
-// C&S successes, the finger hit/miss classifiers, backoff waits and shard
-// routing counts are diagnostic only (restart and fallback work is billed
-// through the next/curr updates the search performs, and a backoff wait
-// performs no shared-memory step at all).
+// C&S successes, the finger hit/miss classifiers, backoff waits, shard
+// routing counts and the serving-layer connection/coalescing counters are
+// diagnostic only (restart and fallback work is billed through the
+// next/curr updates the search performs, a backoff wait performs no
+// shared-memory step at all, and the serving layer sits entirely above
+// the structures the analysis covers).
 func (c Counter) Essential() bool {
 	switch c {
 	case CtrCASAttempts, CtrBacklinkTraversals, CtrNextUpdates,
@@ -136,6 +158,14 @@ func (c Counter) Essential() bool {
 		return false
 	}
 }
+
+// Gauge reports whether the counter is a level, not a monotonic total:
+// its value can go down as well as up. The only gauge in the vocabulary
+// is conn_active, maintained by the serving layer as accepted minus
+// closed. Exporters render gauges without the _total suffix and with the
+// Prometheus gauge type; Snapshot.Sub's saturating subtraction makes a
+// Delta of a gauge meaningless (read the Snapshot level instead).
+func (c Counter) Gauge() bool { return c == CtrConnActive }
 
 // EssentialSteps returns the total billed step count: the quantity the
 // paper's amortized analysis bounds by O(n(S) + c(S)) for the FR list, and

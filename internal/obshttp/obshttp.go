@@ -1,29 +1,81 @@
 // Package obshttp serves the observability endpoints shared by the
 // command-line tools: /metrics (Prometheus text exposition of every
-// registered lockfree/telemetry instance) and /debug/vars (the standard
-// expvar JSON dump).
+// registered lockfree/telemetry instance), /debug/vars (the standard
+// expvar JSON dump), and — for long-running servers — the /healthz and
+// /readyz probes.
 package obshttp
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
+	"time"
 
 	ltel "repro/lockfree/telemetry"
 )
 
-// Serve binds addr (":0" picks a free port) and serves /metrics and
-// /debug/vars until stop is called. It returns the bound address so
-// callers can print a scrapeable URL.
-func Serve(addr string) (boundAddr string, stop func(), err error) {
+// Probe reports one liveness condition; nil means OK. A nil Probe is
+// treated as always-OK.
+type Probe func() error
+
+// Handle is a running observability listener. It satisfies the
+// server.Shutdowner interface so commands can drain it through the same
+// graceful-shutdown path as their protocol listeners.
+type Handle struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address, so callers can print a scrapeable URL.
+func (h *Handle) Addr() string { return h.ln.Addr().String() }
+
+// Shutdown gracefully drains the listener: in-flight requests finish,
+// new ones are refused, and stragglers are cut when ctx expires.
+func (h *Handle) Shutdown(ctx context.Context) error { return h.srv.Shutdown(ctx) }
+
+// ServeAdmin binds addr (":0" picks a free port) and serves /metrics,
+// /debug/vars, /healthz, and /readyz until Shutdown. The probes decide
+// the HTTP status of the last two: nil error is 200, anything else 503
+// with the error text in the body — the readiness probe should start
+// failing the moment shutdown begins, so load balancers stop routing
+// before connections are cut.
+func ServeAdmin(addr string, healthz, readyz Probe) (*Handle, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", ltel.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	mux.Handle("/healthz", probeHandler(healthz))
+	mux.Handle("/readyz", probeHandler(readyz))
+	h := &Handle{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+func probeHandler(p Probe) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if p != nil {
+			if err := p(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// Serve binds addr and serves /metrics and /debug/vars until stop is
+// called. It returns the bound address so callers can print a scrapeable
+// URL. Short-lived tools use this; servers should prefer ServeAdmin and
+// route the Handle through their graceful-shutdown path.
+func Serve(addr string) (boundAddr string, stop func(), err error) {
+	h, err := ServeAdmin(addr, nil, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	return h.Addr(), func() { h.srv.Close() }, nil
 }

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/lockfree"
+)
+
+// countingStore wraps a Store and counts every call per method, so tests
+// can pin exactly how a pipelined run hit the structure.
+type countingStore struct {
+	Store
+	insert, get, delete             atomic.Int64
+	insertBatch, getBatch, delBatch atomic.Int64
+}
+
+func (s *countingStore) Insert(k int, v string) bool {
+	s.insert.Add(1)
+	return s.Store.Insert(k, v)
+}
+func (s *countingStore) Get(k int) (string, bool) {
+	s.get.Add(1)
+	return s.Store.Get(k)
+}
+func (s *countingStore) Delete(k int) bool {
+	s.delete.Add(1)
+	return s.Store.Delete(k)
+}
+func (s *countingStore) InsertBatch(items []core.KV[int, string], inserted []bool) int {
+	s.insertBatch.Add(1)
+	return s.Store.InsertBatch(items, inserted)
+}
+func (s *countingStore) GetBatch(keys []int, vals []string, found []bool) int {
+	s.getBatch.Add(1)
+	return s.Store.GetBatch(keys, vals, found)
+}
+func (s *countingStore) DeleteBatch(keys []int, deleted []bool) int {
+	s.delBatch.Add(1)
+	return s.Store.DeleteBatch(keys, deleted)
+}
+
+// pipeConn starts a server over one end of an in-memory pipe and returns
+// the client end. The pipe is synchronous, so a single client Write lands
+// in the reader's buffer whole — which is what makes coalescing
+// deterministic enough to assert exact call counts.
+func pipeConn(t *testing.T, srv *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	cl, se := net.Pipe()
+	go srv.ServeConn(se)
+	t.Cleanup(func() { cl.Close() })
+	return cl, bufio.NewReader(cl)
+}
+
+func mustReadLine(t *testing.T, br *bufio.Reader) string {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return strings.TrimSuffix(line, "\n")
+}
+
+// TestCoalesceSetsIntoOneInsertBatch is the determinism contract of the
+// coalescer: a pipelined run of N SETs written in one piece produces
+// exactly ONE InsertBatch call (no point Inserts), the cmds_coalesced
+// counter absorbs all N commands, and the N responses come back in
+// request order.
+func TestCoalesceSetsIntoOneInsertBatch(t *testing.T) {
+	const n = 32
+	cs := &countingStore{Store: lockfree.NewSkipList[int, string]()}
+	rec := telemetry.NewRecorder(1)
+	srv := New(Config{MaxBatch: 64}, cs)
+	srv.SetTelemetry(rec)
+	cl, br := pipeConn(t, srv)
+
+	// Descending keys: sorted batch order is the reverse of request
+	// order, so in-order responses prove the inverse permutation works.
+	var req strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&req, "SET %d v%d\n", n-i, n-i)
+	}
+	if _, err := cl.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := mustReadLine(t, br); got != ":1" {
+			t.Fatalf("response %d = %q, want :1", i, got)
+		}
+	}
+
+	if got := cs.insertBatch.Load(); got != 1 {
+		t.Fatalf("InsertBatch calls = %d, want exactly 1", got)
+	}
+	if got := cs.insert.Load(); got != 0 {
+		t.Fatalf("point Insert calls = %d, want 0", got)
+	}
+	if got := rec.Snapshot().Counters.CmdsCoalesced; got != n {
+		t.Fatalf("cmds_coalesced = %d, want %d", got, n)
+	}
+
+	// Now a pipelined run of GETs with distinct values, again written in
+	// one piece and in descending key order: one GetBatch call, responses
+	// positionally correct for each requested key.
+	req.Reset()
+	for i := n; i >= 1; i-- {
+		fmt.Fprintf(&req, "GET %d\n", i)
+	}
+	if _, err := cl.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := n; i >= 1; i-- {
+		want := fmt.Sprintf("$v%d", i)
+		if got := mustReadLine(t, br); got != want {
+			t.Fatalf("GET %d response = %q, want %q", i, got, want)
+		}
+	}
+	if got := cs.getBatch.Load(); got != 1 {
+		t.Fatalf("GetBatch calls = %d, want exactly 1", got)
+	}
+	if got := cs.get.Load(); got != 0 {
+		t.Fatalf("point Get calls = %d, want 0", got)
+	}
+	if got := rec.Snapshot().Counters.CmdsCoalesced; got != 2*n {
+		t.Fatalf("cmds_coalesced = %d, want %d", got, 2*n)
+	}
+}
+
+// TestCoalesceMixedRunSplitsByVerb: a mixed pipelined run coalesces each
+// maximal same-verb stretch and executes the rest singly, and responses
+// stay in request order across the seams.
+func TestCoalesceMixedRunSplitsByVerb(t *testing.T) {
+	cs := &countingStore{Store: lockfree.NewSkipList[int, string]()}
+	srv := New(Config{MaxBatch: 64}, cs)
+	cl, br := pipeConn(t, srv)
+
+	req := "SET 5 a\nSET 3 b\nSET 4 c\nPING\nGET 3\nGET 9\nDEL 4\nLEN\n"
+	want := []string{":1", ":1", ":1", "+PONG", "$b", "_", ":1", ":2"}
+	if _, err := cl.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := mustReadLine(t, br); got != w {
+			t.Fatalf("response %d = %q, want %q", i, got, w)
+		}
+	}
+	if cs.insertBatch.Load() != 1 || cs.getBatch.Load() != 1 {
+		t.Fatalf("batch calls = insert %d / get %d, want 1 / 1",
+			cs.insertBatch.Load(), cs.getBatch.Load())
+	}
+	// The lone DEL must NOT go through a batch: a one-command "batch"
+	// would only pay the finger setup for nothing.
+	if cs.delBatch.Load() != 0 || cs.delete.Load() != 1 {
+		t.Fatalf("DEL went through calls batch=%d point=%d, want 0/1",
+			cs.delBatch.Load(), cs.delete.Load())
+	}
+}
+
+// TestCoalesceDuplicateKeys: duplicate keys inside one coalesced run get
+// exactly one success among them (insert-if-absent semantics), whichever
+// request it lands on.
+func TestCoalesceDuplicateKeys(t *testing.T) {
+	cs := &countingStore{Store: lockfree.NewSkipList[int, string]()}
+	srv := New(Config{MaxBatch: 64}, cs)
+	cl, br := pipeConn(t, srv)
+
+	if _, err := cl.Write([]byte("SET 7 a\nSET 7 b\nSET 7 c\nSET 8 d\n")); err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for i := 0; i < 3; i++ {
+		switch got := mustReadLine(t, br); got {
+		case ":1":
+			wins++
+		case ":0":
+		default:
+			t.Fatalf("response %d = %q", i, got)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("duplicate key got %d successful SETs, want exactly 1", wins)
+	}
+	if got := mustReadLine(t, br); got != ":1" {
+		t.Fatalf("SET 8 = %q, want :1", got)
+	}
+}
+
+// TestCoalesceRespectsMaxBatch: a run longer than MaxBatch splits into
+// ceil(n/max) batch calls, never one oversized call.
+func TestCoalesceRespectsMaxBatch(t *testing.T) {
+	cs := &countingStore{Store: lockfree.NewSkipList[int, string]()}
+	srv := New(Config{MaxBatch: 8}, cs)
+	cl, br := pipeConn(t, srv)
+
+	var req strings.Builder
+	const n = 20 // 8 + 8 + 4
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&req, "SET %d v\n", i)
+	}
+	if _, err := cl.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := mustReadLine(t, br); got != ":1" {
+			t.Fatalf("response %d = %q", i, got)
+		}
+	}
+	if got := cs.insertBatch.Load(); got != 3 {
+		t.Fatalf("InsertBatch calls = %d, want 3 (runs capped at MaxBatch)", got)
+	}
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"cmp"
+	"errors"
+	"net"
+	"slices"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+)
+
+// conn is one client connection. Two goroutines serve it:
+//
+//   - the reader parses request lines and coalesces every already-buffered
+//     run of pipelined commands into one work item, never blocking to wait
+//     for more commands than the client has already sent;
+//   - the writer (the goroutine that called serve) executes work items —
+//     turning same-verb stretches into one sorted batch call against the
+//     store — and writes responses back in request order.
+//
+// The split is what makes pipelining pay: while the writer executes run k,
+// the reader is already parsing run k+1 off the socket.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	runs     chan workRun
+	draining atomic.Bool
+
+	lineBuf []byte // reader-owned scratch, reused across readLine calls
+
+	// writer-owned batch scratch, reused across coalesced runs: the sort
+	// permutation, its inverse, the sorted inputs, and the result slices.
+	ord   []int
+	ord2  []int
+	keys  []int
+	items []core.KV[int, string]
+	vals  []string
+	flags []bool
+
+	scratchNum [24]byte // integer-rendering scratch for responses
+}
+
+// entry is one parsed request: a command, or the parse error to answer.
+type entry struct {
+	cmd Command
+	err error
+}
+
+// workRun is a pipelined run of requests handed from reader to writer.
+type workRun struct {
+	entries []entry
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:  s,
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 8<<10),
+		bw:   bufio.NewWriterSize(nc, 8<<10),
+		runs: make(chan workRun, 4),
+	}
+}
+
+// serve runs the writer loop to completion; it is the connection's
+// lifetime. The reader goroutine exits when the transport errors, the
+// client quits, or a drain deadline expires; closing the runs channel is
+// its last act.
+func (c *conn) serve() {
+	defer c.srv.remove(c)
+	go c.readLoop()
+	quit := false
+	for r := range c.runs {
+		if !quit {
+			quit = c.execute(r)
+			if c.flush() != nil {
+				quit = true
+			}
+		}
+		// After QUIT (or a dead transport) remaining runs are drained
+		// unanswered so the reader can never block on a full channel.
+	}
+	c.flush()
+	c.nc.Close()
+}
+
+// startDrain puts the connection into shutdown draining: it keeps reading
+// for DrainGrace — answering commands already on the wire — then stops
+// accepting input, finishes queued runs, flushes, and closes.
+func (c *conn) startDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.DrainGrace))
+}
+
+// armReadDeadline sets the idle deadline for the next blocking read. The
+// re-check closes the race with startDrain: whichever order the two run
+// in, the connection ends up with the short drain deadline.
+func (c *conn) armReadDeadline() {
+	if c.draining.Load() {
+		return
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	if c.draining.Load() {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.DrainGrace))
+	}
+}
+
+// readLoop is the reader goroutine: block for one request, then absorb —
+// without blocking — every complete line the client has already pipelined,
+// up to MaxBatch, and hand the run to the writer.
+func (c *conn) readLoop() {
+	defer close(c.runs)
+	for {
+		c.armReadDeadline()
+		line, err := c.readLine()
+		var run workRun
+		switch {
+		case err == nil:
+			run.entries = append(run.entries, parseEntry(line))
+		case errors.Is(err, ErrLineTooLong):
+			run.entries = append(run.entries, entry{err: err})
+		default:
+			// Transport gone, idle timeout, or drain window closed: stop
+			// reading. Queued runs still get answers.
+			return
+		}
+		sawQuit := run.entries[0].err == nil && run.entries[0].cmd.Verb == VerbQuit
+		for !sawQuit && len(run.entries) < c.srv.cfg.MaxBatch && c.bufferedLine() {
+			line, err := c.readLine()
+			switch {
+			case err == nil:
+				e := parseEntry(line)
+				run.entries = append(run.entries, e)
+				sawQuit = e.err == nil && e.cmd.Verb == VerbQuit
+			case errors.Is(err, ErrLineTooLong):
+				run.entries = append(run.entries, entry{err: err})
+			default:
+				c.runs <- run
+				return
+			}
+		}
+		c.runs <- run
+		if sawQuit {
+			return
+		}
+	}
+}
+
+func parseEntry(line []byte) entry {
+	cmd, err := ParseCommand(line)
+	return entry{cmd: cmd, err: err}
+}
+
+// bufferedLine reports whether a complete request line is already sitting
+// in the read buffer, i.e. whether readLine can run without blocking.
+func (c *conn) bufferedLine() bool {
+	n := c.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	b, _ := c.br.Peek(n)
+	return bytes.IndexByte(b, '\n') >= 0
+}
+
+// readLine reads one '\n'-terminated line, reusing the connection's
+// scratch buffer. A line longer than MaxLineBytes is consumed to its
+// newline and reported as ErrLineTooLong — the request fails, the stream
+// stays in sync, and the connection keeps serving.
+func (c *conn) readLine() ([]byte, error) {
+	max := c.srv.cfg.MaxLineBytes
+	line := c.lineBuf[:0]
+	tooLong := false
+	for {
+		frag, err := c.br.ReadSlice('\n')
+		if tooLong {
+			switch {
+			case err == nil:
+				return nil, ErrLineTooLong
+			case errors.Is(err, bufio.ErrBufferFull):
+				continue // keep discarding the oversized line
+			default:
+				return nil, err
+			}
+		}
+		line = append(line, frag...)
+		c.lineBuf = line[:0]
+		switch {
+		case err == nil:
+			line = line[:len(line)-1] // strip '\n'
+			if len(line) > max {
+				return nil, ErrLineTooLong
+			}
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			if len(line) > max {
+				tooLong = true
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// execute answers one run: parse errors answer -ERR in place, stretches of
+// two or more same-verb point commands coalesce into one batch call, and
+// everything else executes singly. Responses land in request order.
+// Returns true when the run asked to close the connection.
+func (c *conn) execute(r workRun) (quit bool) {
+	e := r.entries
+	for i := 0; i < len(e); {
+		if e[i].err != nil {
+			c.writeErr(e[i].err)
+			i++
+			continue
+		}
+		v := e[i].cmd.Verb
+		if v.batchable() {
+			j := i + 1
+			for j < len(e) && e[j].err == nil && e[j].cmd.Verb == v {
+				j++
+			}
+			if j-i >= 2 {
+				c.executeBatch(v, e[i:j])
+				c.srv.addCounter(instrument.CtrCmdsCoalesced, uint64(j-i))
+				i = j
+				continue
+			}
+		}
+		if c.executeSingle(e[i].cmd) {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// executeBatch turns a same-verb stretch into one sorted batch call. The
+// batch methods report results positionally against the sorted key order,
+// so the stretch is pre-sorted through an index permutation and the
+// responses are written back through its inverse — the client sees answers
+// in the order it sent the requests. Among duplicate keys in one stretch
+// the assignment of success to request is arbitrary, exactly as it is for
+// concurrent single commands on separate connections.
+func (c *conn) executeBatch(v Verb, e []entry) {
+	n := len(e)
+	ord := c.ord[:0]
+	for i := 0; i < n; i++ {
+		ord = append(ord, i)
+	}
+	slices.SortFunc(ord, func(a, b int) int {
+		if d := cmp.Compare(e[a].cmd.Key, e[b].cmd.Key); d != 0 {
+			return d
+		}
+		return cmp.Compare(a, b)
+	})
+	c.ord = ord
+	flags := growTo(&c.flags, n)
+
+	switch v {
+	case VerbSet:
+		items := c.items[:0]
+		for _, oi := range ord {
+			items = append(items, core.KV[int, string]{Key: e[oi].cmd.Key, Value: e[oi].cmd.Value})
+		}
+		c.items = items
+		c.srv.store.InsertBatch(items, flags)
+	case VerbDel:
+		keys := c.keys[:0]
+		for _, oi := range ord {
+			keys = append(keys, e[oi].cmd.Key)
+		}
+		c.keys = keys
+		c.srv.store.DeleteBatch(keys, flags)
+	default: // VerbGet
+		keys := c.keys[:0]
+		for _, oi := range ord {
+			keys = append(keys, e[oi].cmd.Key)
+		}
+		c.keys = keys
+		vals := growTo(&c.vals, n)
+		c.srv.store.GetBatch(keys, vals, flags)
+	}
+
+	// Invert the permutation on the fly: request i's result sits at the
+	// sorted position m with ord[m] == i. Walk requests in order via a
+	// position lookup built into the (otherwise idle) half of ord.
+	pos := growTo(&c.ord2, n)
+	for m, oi := range ord {
+		pos[oi] = m
+	}
+	for i := 0; i < n; i++ {
+		m := pos[i]
+		if v == VerbGet {
+			c.writeValue(c.vals[m], flags[m])
+		} else {
+			c.writeBool(flags[m])
+		}
+	}
+}
+
+// growTo resizes *s to length n, reusing capacity.
+func growTo[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// executeSingle answers one non-coalesced command. Returns true for QUIT.
+func (c *conn) executeSingle(cmd Command) (quit bool) {
+	switch cmd.Verb {
+	case VerbPing:
+		c.writeLine("+PONG")
+	case VerbSet:
+		c.writeBool(c.srv.store.Insert(cmd.Key, cmd.Value))
+	case VerbGet:
+		v, ok := c.srv.store.Get(cmd.Key)
+		c.writeValue(v, ok)
+	case VerbDel:
+		c.writeBool(c.srv.store.Delete(cmd.Key))
+	case VerbLen:
+		c.writeInt(c.srv.store.Len())
+	case VerbRange:
+		c.executeRange(cmd.Key, cmd.Hi)
+	case VerbQuit:
+		c.writeLine("+OK")
+		return true
+	}
+	return false
+}
+
+// executeRange collects [lo, hi) up to MaxRange pairs before writing
+// anything, so an oversized scan can fail cleanly with -ERR instead of a
+// truncated multi-line answer.
+func (c *conn) executeRange(lo, hi int) {
+	type pair struct {
+		k int
+		v string
+	}
+	maxR := c.srv.cfg.MaxRange
+	pairs := make([]pair, 0, 16)
+	over := false
+	c.srv.store.AscendRange(lo, hi, func(k int, v string) bool {
+		if len(pairs) >= maxR {
+			over = true
+			return false
+		}
+		pairs = append(pairs, pair{k, v})
+		return true
+	})
+	if over {
+		c.writeErr(errors.New("range result exceeds " + strconv.Itoa(maxR) + " keys"))
+		return
+	}
+	c.bw.WriteByte('*')
+	c.bw.Write(strconv.AppendInt(c.numBuf(), int64(len(pairs)), 10))
+	c.bw.WriteByte('\n')
+	for _, p := range pairs {
+		c.bw.Write(strconv.AppendInt(c.numBuf(), int64(p.k), 10))
+		c.bw.WriteByte(' ')
+		c.bw.WriteString(p.v)
+		c.bw.WriteByte('\n')
+	}
+}
+
+func (c *conn) numBuf() []byte { return c.scratchNum[:0] }
+
+func (c *conn) writeLine(s string) {
+	c.bw.WriteString(s)
+	c.bw.WriteByte('\n')
+}
+
+func (c *conn) writeBool(ok bool) {
+	if ok {
+		c.writeLine(":1")
+	} else {
+		c.writeLine(":0")
+	}
+}
+
+func (c *conn) writeInt(n int) {
+	c.bw.WriteByte(':')
+	c.bw.Write(strconv.AppendInt(c.numBuf(), int64(n), 10))
+	c.bw.WriteByte('\n')
+}
+
+func (c *conn) writeValue(v string, ok bool) {
+	if !ok {
+		c.writeLine("_")
+		return
+	}
+	c.bw.WriteByte('$')
+	c.bw.WriteString(v)
+	c.bw.WriteByte('\n')
+}
+
+func (c *conn) writeErr(err error) {
+	c.bw.WriteString("-ERR ")
+	c.bw.WriteString(err.Error())
+	c.bw.WriteByte('\n')
+}
+
+// flush pushes buffered responses to the client under the write deadline.
+func (c *conn) flush() error {
+	if c.bw.Buffered() == 0 {
+		return nil
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	return c.bw.Flush()
+}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Shutdowner is anything that can drain itself under a deadline: the TCP
+// Server, the obshttp admin Handle, and any future listener.
+type Shutdowner interface {
+	Shutdown(ctx context.Context) error
+}
+
+// GracefulShutdown drains every Shutdowner under one shared timeout,
+// concurrently, and joins the first error of each (a context deadline on
+// one listener must not eat another's drain window). It is the single
+// shutdown path every command-line tool routes its listeners through.
+func GracefulShutdown(timeout time.Duration, ss ...Shutdowner) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	errs := make([]error, len(ss))
+	done := make(chan int, len(ss))
+	for i, s := range ss {
+		go func(i int, s Shutdowner) {
+			errs[i] = s.Shutdown(ctx)
+			done <- i
+		}(i, s)
+	}
+	for range ss {
+		<-done
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,231 @@
+// Package server exposes a lock-free ordered key-value store over TCP
+// through a small RESP-like line protocol. It is the serving layer of the
+// repository: many connections concurrently drive one structure, and each
+// connection's pipelined command runs are coalesced into the sorted batch
+// operations, so the clustered-access amortization of DESIGN.md Sections 8
+// and 9 applies to network traffic, not just in-process callers.
+//
+// Requests are single lines, terminated by '\n' (a preceding '\r' is
+// stripped), fields separated by single spaces:
+//
+//	PING                 liveness probe
+//	SET <key> <value>    insert-if-absent; values are immutable once stored
+//	GET <key>            point lookup
+//	DEL <key>            delete
+//	RANGE <lo> <hi>      ordered scan of [lo, hi)
+//	LEN                  key count
+//	QUIT                 polite close
+//
+// Keys and range bounds are signed 64-bit decimal integers. A SET value is
+// everything after the key token (it may contain spaces, but not '\n' or
+// NUL). Responses are also single lines: "+..." status, ":<n>" integer,
+// "$<value>" hit, "_" miss, "-ERR <msg>" failure, and "*<n>" followed by n
+// lines "<key> <value>" for RANGE. Malformed or oversized input fails the
+// request — the connection answers -ERR and keeps serving — never the
+// process; only a broken transport closes a connection early.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"bytes"
+)
+
+// Verb enumerates the protocol commands.
+type Verb uint8
+
+// Protocol verbs. VerbInvalid is the zero value, returned with an error by
+// ParseCommand.
+const (
+	VerbInvalid Verb = iota
+	VerbPing
+	VerbSet
+	VerbGet
+	VerbDel
+	VerbRange
+	VerbLen
+	VerbQuit
+)
+
+// String returns the verb's wire name.
+func (v Verb) String() string {
+	switch v {
+	case VerbPing:
+		return "PING"
+	case VerbSet:
+		return "SET"
+	case VerbGet:
+		return "GET"
+	case VerbDel:
+		return "DEL"
+	case VerbRange:
+		return "RANGE"
+	case VerbLen:
+		return "LEN"
+	case VerbQuit:
+		return "QUIT"
+	default:
+		return "INVALID"
+	}
+}
+
+// batchable reports whether runs of this verb coalesce into one batch
+// call: the point commands SET/GET/DEL do, the rest execute singly.
+func (v Verb) batchable() bool {
+	return v == VerbSet || v == VerbGet || v == VerbDel
+}
+
+// Command is one parsed request line.
+type Command struct {
+	Verb  Verb
+	Key   int    // SET/GET/DEL key, RANGE lower bound
+	Hi    int    // RANGE upper bound (exclusive)
+	Value string // SET payload
+}
+
+// ErrLineTooLong is returned by the connection reader when a request line
+// exceeds the configured maximum. The offending line is discarded and the
+// request answered -ERR; the connection keeps serving.
+var ErrLineTooLong = errors.New("request line exceeds the configured maximum")
+
+// ParseCommand parses one request line (already stripped of its trailing
+// '\n'; a trailing '\r' is tolerated and stripped here). The returned
+// error is a client-facing message — the caller renders it as "-ERR <msg>"
+// — and never fatal to the connection.
+func ParseCommand(line []byte) (Command, error) {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if len(line) == 0 {
+		return Command{}, errors.New("empty command")
+	}
+	if bytes.IndexByte(line, 0) >= 0 {
+		return Command{}, errors.New("embedded NUL in command")
+	}
+	// The connection reader strips the terminator before calling us, so an
+	// interior newline can only mean a caller bug or a hostile buffer —
+	// reject it rather than let it forge extra response lines.
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return Command{}, errors.New("embedded newline in command")
+	}
+	verbTok, rest := splitField(line)
+	var verb Verb
+	switch {
+	case asciiEqualFold(verbTok, "PING"):
+		verb = VerbPing
+	case asciiEqualFold(verbTok, "SET"):
+		verb = VerbSet
+	case asciiEqualFold(verbTok, "GET"):
+		verb = VerbGet
+	case asciiEqualFold(verbTok, "DEL"):
+		verb = VerbDel
+	case asciiEqualFold(verbTok, "RANGE"):
+		verb = VerbRange
+	case asciiEqualFold(verbTok, "LEN"):
+		verb = VerbLen
+	case asciiEqualFold(verbTok, "QUIT"):
+		verb = VerbQuit
+	default:
+		return Command{}, fmt.Errorf("unknown command %q", clip(verbTok))
+	}
+
+	switch verb {
+	case VerbPing, VerbLen, VerbQuit:
+		if len(rest) != 0 {
+			return Command{}, arityErr(verb)
+		}
+		return Command{Verb: verb}, nil
+
+	case VerbGet, VerbDel:
+		keyTok, tail := splitField(rest)
+		if len(keyTok) == 0 || len(tail) != 0 {
+			return Command{}, arityErr(verb)
+		}
+		k, err := parseKey(keyTok)
+		if err != nil {
+			return Command{}, err
+		}
+		return Command{Verb: verb, Key: k}, nil
+
+	case VerbSet:
+		keyTok, val := splitField(rest)
+		if len(keyTok) == 0 || len(val) == 0 {
+			return Command{}, arityErr(verb)
+		}
+		k, err := parseKey(keyTok)
+		if err != nil {
+			return Command{}, err
+		}
+		return Command{Verb: VerbSet, Key: k, Value: string(val)}, nil
+
+	default: // VerbRange
+		loTok, rest2 := splitField(rest)
+		hiTok, tail := splitField(rest2)
+		if len(loTok) == 0 || len(hiTok) == 0 || len(tail) != 0 {
+			return Command{}, arityErr(verb)
+		}
+		lo, err := parseKey(loTok)
+		if err != nil {
+			return Command{}, err
+		}
+		hi, err := parseKey(hiTok)
+		if err != nil {
+			return Command{}, err
+		}
+		return Command{Verb: VerbRange, Key: lo, Hi: hi}, nil
+	}
+}
+
+// splitField splits b at the first space into (field, remainder). The
+// remainder excludes the separator; a missing separator yields an empty
+// remainder. Multiple consecutive spaces are not collapsed: an empty field
+// signals a malformed line to the caller.
+func splitField(b []byte) (field, rest []byte) {
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
+// parseKey parses a signed decimal 64-bit key.
+func parseKey(tok []byte) (int, error) {
+	k, err := strconv.ParseInt(string(tok), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("key %q is not a signed 64-bit integer", clip(tok))
+	}
+	return int(k), nil
+}
+
+func arityErr(v Verb) error {
+	return fmt.Errorf("wrong number of arguments for %q", v.String())
+}
+
+// clip bounds a token echoed back in an error message so a hostile line
+// cannot inflate the response.
+func clip(tok []byte) string {
+	const max = 32
+	if len(tok) > max {
+		return string(tok[:max]) + "..."
+	}
+	return string(tok)
+}
+
+// asciiEqualFold reports whether b equals the ASCII string s ignoring
+// case, without allocating.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCommandValid(t *testing.T) {
+	cases := []struct {
+		line string
+		want Command
+	}{
+		{"PING", Command{Verb: VerbPing}},
+		{"ping", Command{Verb: VerbPing}},
+		{"PING\r", Command{Verb: VerbPing}},
+		{"LEN", Command{Verb: VerbLen}},
+		{"QUIT", Command{Verb: VerbQuit}},
+		{"GET 42", Command{Verb: VerbGet, Key: 42}},
+		{"get -7", Command{Verb: VerbGet, Key: -7}},
+		{"DEL 9", Command{Verb: VerbDel, Key: 9}},
+		{"SET 1 hello", Command{Verb: VerbSet, Key: 1, Value: "hello"}},
+		{"SET 1 two words", Command{Verb: VerbSet, Key: 1, Value: "two words"}},
+		{"SET -3 -", Command{Verb: VerbSet, Key: -3, Value: "-"}},
+		{"RANGE 1 10", Command{Verb: VerbRange, Key: 1, Hi: 10}},
+		{"range -5 5\r", Command{Verb: VerbRange, Key: -5, Hi: 5}},
+	}
+	for _, tc := range cases {
+		got, err := ParseCommand([]byte(tc.line))
+		if err != nil {
+			t.Errorf("ParseCommand(%q): unexpected error %v", tc.line, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCommand(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestParseCommandMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"empty line", ""},
+		{"bare CR", "\r"},
+		{"embedded NUL in verb", "PI\x00NG"},
+		{"embedded NUL in value", "SET 1 a\x00b"},
+		{"unknown verb", "BLORP 1"},
+		{"unknown verb with NUL", "\x00"},
+		{"ping with args", "PING 1"},
+		{"len with args", "LEN 3"},
+		{"quit with args", "QUIT now"},
+		{"get missing key", "GET"},
+		{"get empty key token", "GET "},
+		{"get trailing arg", "GET 1 2"},
+		{"get non-integer key", "GET abc"},
+		{"get float key", "GET 1.5"},
+		{"get overflow key", "GET 92233720368547758080"},
+		{"del missing key", "DEL"},
+		{"set missing value", "SET 1"},
+		{"set missing value after space", "SET 1 "},
+		{"set missing key and value", "SET"},
+		{"set non-integer key", "SET x y"},
+		{"range missing hi", "RANGE 1"},
+		{"range trailing arg", "RANGE 1 2 3"},
+		{"range bad lo", "RANGE a 2"},
+		{"range bad hi", "RANGE 1 b"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseCommand([]byte(tc.line)); err == nil {
+			t.Errorf("%s: ParseCommand(%q) succeeded, want error", tc.name, tc.line)
+		}
+	}
+}
+
+// TestParseCommandErrorsAreClientSafe pins the failure mode: every parse
+// error must be a single-line message (it is echoed verbatim after
+// "-ERR "), and a hostile token must not inflate it.
+func TestParseCommandErrorsAreClientSafe(t *testing.T) {
+	long := strings.Repeat("x", 10_000)
+	for _, line := range []string{long, "GET " + long, long + " 1"} {
+		_, err := ParseCommand([]byte(line))
+		if err == nil {
+			t.Fatalf("ParseCommand(%d-byte line) succeeded", len(line))
+		}
+		msg := err.Error()
+		if strings.ContainsAny(msg, "\r\n") {
+			t.Fatalf("error message spans lines: %q", msg)
+		}
+		if len(msg) > 128 {
+			t.Fatalf("error message too long (%d bytes): %q", len(msg), msg[:64])
+		}
+	}
+}
+
+// FuzzParseCommand asserts the parser's safety contract on arbitrary
+// bytes: no panic, and on success the command round-trips sanely (a valid
+// verb, and a SET value free of line breaks and NUL).
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"PING", "LEN", "QUIT",
+		"SET 1 hello", "SET -3 two words", "GET 42", "DEL 9",
+		"RANGE 1 10", "RANGE -5 5\r",
+		"", "\r", "SET", "GET ", "BLORP 1", "PI\x00NG",
+		"GET 92233720368547758080", "SET 1 a\x00b", "RANGE 1 2 3",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			if msg := err.Error(); strings.ContainsAny(msg, "\r\n") {
+				t.Fatalf("error message spans lines: %q", msg)
+			}
+			return
+		}
+		switch cmd.Verb {
+		case VerbPing, VerbSet, VerbGet, VerbDel, VerbRange, VerbLen, VerbQuit:
+		default:
+			t.Fatalf("parse succeeded with invalid verb %v", cmd.Verb)
+		}
+		if strings.ContainsAny(cmd.Value, "\n\x00") {
+			t.Fatalf("accepted value with line break or NUL: %q", cmd.Value)
+		}
+	})
+}

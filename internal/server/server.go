@@ -1,0 +1,314 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/telemetry"
+)
+
+// Store is the ordered key-value surface the server fronts: the subset of
+// the lockfree facade (SkipList, ShardedSkipList) the protocol needs.
+// Point methods must be linearizable; the batch methods sort their
+// argument in place and report positionally against the sorted order,
+// exactly like the lockfree batch contract.
+type Store interface {
+	Insert(key int, value string) bool
+	Get(key int) (string, bool)
+	Delete(key int) bool
+	Len() int
+	AscendRange(from, to int, fn func(key int, value string) bool)
+	InsertBatch(items []core.KV[int, string], inserted []bool) int
+	GetBatch(keys []int, vals []string, found []bool) int
+	DeleteBatch(keys []int, deleted []bool) int
+}
+
+// Config bounds a Server. The zero value is usable: every limit falls
+// back to the default documented on its field.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe (default
+	// "127.0.0.1:7379").
+	Addr string
+	// MaxConns caps concurrently open connections; connections beyond it
+	// are shed at accept time with "-ERR server busy" (default 1024).
+	MaxConns int
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests; an idle connection is closed (default 5m).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush (default 10s).
+	WriteTimeout time.Duration
+	// MaxLineBytes bounds one request line. An overlong line is discarded
+	// and answered -ERR; the connection keeps serving (default 64 KiB).
+	MaxLineBytes int
+	// MaxBatch caps how many pipelined commands one coalesced run may
+	// absorb (default 256).
+	MaxBatch int
+	// MaxRange caps the number of pairs one RANGE may return; a larger
+	// scan fails the request, not the process (default 4096).
+	MaxRange int
+	// DrainGrace is the window a draining connection keeps reading after
+	// Shutdown begins, so commands already on the wire are served rather
+	// than dropped (default 250ms).
+	DrainGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7379"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 64 << 10
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxRange <= 0 {
+		c.MaxRange = 4096
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server serves the line protocol over TCP. Construct with New; a Server
+// serves one Store and may not be reused after Shutdown.
+type Server struct {
+	cfg   Config
+	store Store
+	tel   *telemetry.Recorder // optional; nil disables counters
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	done     bool
+
+	ready atomic.Bool
+	wg    sync.WaitGroup // one per live connection
+}
+
+// New returns a Server over store with the given config (zero fields get
+// defaults).
+func New(cfg Config, store Store) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		store: store,
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// SetTelemetry attaches rec to the server's connection and coalescing
+// counters (conn_accepted, conn_active, conn_rejected, cmds_coalesced).
+// Attach before Serve; nil (the default) disables them. The store's own
+// telemetry is attached separately, at store construction.
+func (s *Server) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
+
+func (s *Server) addCounter(c instrument.Counter, n uint64) {
+	if s.tel != nil {
+		s.tel.AddCounter(c, n)
+	}
+}
+
+func (s *Server) addGauge(c instrument.Counter, delta int64) {
+	if s.tel != nil {
+		s.tel.AddGauge(c, delta)
+	}
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown. Like
+// http.ListenAndServe it blocks; run it on its own goroutine and read the
+// bound address with Addr (useful with a ":0" config).
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after a Shutdown stops the accept
+// loop, mirroring net/http's contract.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown. Connections beyond
+// MaxConns are shed immediately with "-ERR server busy" (counted as
+// conn_rejected) so overload degrades by refusing work, not by queueing
+// unboundedly.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.done || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.ready.Store(true)
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining || s.done
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.accept(nc)
+	}
+}
+
+// accept admits or sheds one raw connection.
+func (s *Server) accept(nc net.Conn) {
+	s.mu.Lock()
+	if s.draining || s.done || len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.addCounter(instrument.CtrConnRejected, 1)
+		// Best-effort refusal notice; the client may already be gone.
+		nc.SetWriteDeadline(time.Now().Add(time.Second))
+		fmt.Fprintf(nc, "-ERR server busy\n")
+		nc.Close()
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.addCounter(instrument.CtrConnAccepted, 1)
+	s.addGauge(instrument.CtrConnActive, 1)
+	go c.serve()
+}
+
+// ServeConn runs the protocol on an already-established transport (any
+// net.Conn, e.g. one side of a net.Pipe in tests) and returns when the
+// connection closes. It bypasses the MaxConns accept-time shedding but is
+// otherwise identical to an accepted connection, including counters and
+// shutdown draining.
+func (s *Server) ServeConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	if s.draining {
+		// Shutdown already swept the connection set; this late arrival
+		// must drain itself or the drain would wait out its idle timeout.
+		c.startDrain()
+	}
+	s.mu.Unlock()
+	s.addCounter(instrument.CtrConnAccepted, 1)
+	s.addGauge(instrument.CtrConnActive, 1)
+	c.serve()
+}
+
+// remove unregisters a finished connection.
+func (s *Server) remove(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.addGauge(instrument.CtrConnActive, -1)
+	s.wg.Done()
+}
+
+// Addr returns the listen address, or "" before Serve binds one.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Healthy is the /healthz probe: nil while the process can serve at all.
+func (s *Server) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return errors.New("server shut down")
+	}
+	return nil
+}
+
+// Ready is the /readyz probe: nil only while the accept loop is running
+// and not draining, so load balancers stop routing before shutdown cuts
+// connections.
+func (s *Server) Ready() error {
+	if !s.ready.Load() {
+		return errors.New("server not accepting connections")
+	}
+	return nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting (readiness
+// goes false, the listener closes), then puts every connection into
+// draining — each keeps reading for DrainGrace so commands already on the
+// wire are answered, finishes its queued runs, flushes, and closes. If
+// every connection drains before ctx expires Shutdown returns nil;
+// otherwise it force-closes the stragglers and returns ctx.Err().
+// Shutdown is idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.mu.Lock()
+	alreadyDone := s.done
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.startDrain()
+	}
+	s.mu.Unlock()
+	if alreadyDone {
+		return nil
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	return err
+}

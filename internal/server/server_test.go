@@ -1,0 +1,334 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/lockfree"
+)
+
+func startTCP(t *testing.T, cfg Config, store Store, rec *telemetry.Recorder) *Server {
+	t.Helper()
+	srv := New(cfg, store)
+	if rec != nil {
+		srv.SetTelemetry(rec)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	// Serve publishes readiness after adopting the listener.
+	for i := 0; srv.Ready() != nil && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+func TestServerPointAndRange(t *testing.T) {
+	srv := startTCP(t, Config{}, lockfree.NewShardedSkipList[int, string](lockfree.EqualSplitters(0, 100, 4)), nil)
+	nc, br := dial(t, srv)
+
+	send := func(s string) { // one command at a time: the un-pipelined path
+		if _, err := nc.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want string) {
+		t.Helper()
+		if got := mustReadLine(t, br); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+
+	send("PING")
+	expect("+PONG")
+	send("SET 10 ten")
+	expect(":1")
+	send("SET 10 ten-again")
+	expect(":0") // insert-if-absent: values are immutable
+	send("SET 20 twenty")
+	expect(":1")
+	send("SET 90 ninety")
+	expect(":1")
+	send("GET 10")
+	expect("$ten")
+	send("GET 11")
+	expect("_")
+	send("LEN")
+	expect(":3")
+	send("RANGE 10 90") // [lo, hi): 90 excluded
+	expect("*2")
+	expect("10 ten")
+	expect("20 twenty")
+	send("RANGE 5 4")
+	expect("*0")
+	send("DEL 20")
+	expect(":1")
+	send("DEL 20")
+	expect(":0")
+	send("BLORP")
+	expect(`-ERR unknown command "BLORP"`)
+	send("GET abc")
+	expect(`-ERR key "abc" is not a signed 64-bit integer`)
+	send("QUIT")
+	expect("+OK")
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+// TestServerOversizedInputFailsRequestNotProcess: an overlong line and an
+// oversized RANGE each answer -ERR, and the same connection keeps
+// serving afterwards.
+func TestServerOversizedInputFailsRequestNotProcess(t *testing.T) {
+	store := lockfree.NewSkipList[int, string]()
+	for i := 0; i < 50; i++ {
+		store.Insert(i, "v")
+	}
+	srv := startTCP(t, Config{MaxLineBytes: 128, MaxRange: 10}, store, nil)
+	nc, br := dial(t, srv)
+
+	long := "SET 1 " + strings.Repeat("x", 4096) + "\nPING\n"
+	if _, err := nc.Write([]byte(long)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadLine(t, br); !strings.HasPrefix(got, "-ERR ") {
+		t.Fatalf("overlong line answered %q, want -ERR", got)
+	}
+	if got := mustReadLine(t, br); got != "+PONG" {
+		t.Fatalf("connection dead after overlong line: %q", got)
+	}
+
+	if _, err := nc.Write([]byte("RANGE 0 50\nLEN\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadLine(t, br); !strings.HasPrefix(got, "-ERR range result exceeds") {
+		t.Fatalf("oversized range answered %q", got)
+	}
+	if got := mustReadLine(t, br); got != ":50" {
+		t.Fatalf("connection dead after oversized range: %q", got)
+	}
+}
+
+// TestServerConnectionCapSheds: connections beyond MaxConns are refused at
+// accept time with an error line, and counted as conn_rejected.
+func TestServerConnectionCapSheds(t *testing.T) {
+	rec := telemetry.NewRecorder(1)
+	srv := startTCP(t, Config{MaxConns: 1}, lockfree.NewSkipList[int, string](), rec)
+
+	nc1, br1 := dial(t, srv)
+	nc1.Write([]byte("PING\n"))
+	if got := mustReadLine(t, br1); got != "+PONG" {
+		t.Fatalf("first connection: %q", got)
+	}
+
+	_, br2 := dial(t, srv)
+	if got := mustReadLine(t, br2); got != "-ERR server busy" {
+		t.Fatalf("second connection got %q, want -ERR server busy", got)
+	}
+	if _, err := br2.ReadByte(); err == nil {
+		t.Fatal("shed connection left open")
+	}
+
+	s := rec.Snapshot().Counters
+	if s.ConnRejected != 1 || s.ConnAccepted != 1 || s.ConnActive != 1 {
+		t.Fatalf("counters accepted=%d active=%d rejected=%d, want 1/1/1",
+			s.ConnAccepted, s.ConnActive, s.ConnRejected)
+	}
+
+	// Freeing the slot re-admits new connections.
+	nc1.Write([]byte("QUIT\n"))
+	mustReadLine(t, br1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		nc3, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		br3 := bufio.NewReader(nc3)
+		nc3.Write([]byte("PING\n"))
+		got, _ := br3.ReadString('\n')
+		nc3.Close()
+		if strings.TrimSuffix(got, "\n") == "+PONG" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed; last response %q", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerIdleTimeout: a connection that sends nothing is closed once
+// ReadTimeout elapses.
+func TestServerIdleTimeout(t *testing.T) {
+	srv := startTCP(t, Config{ReadTimeout: 50 * time.Millisecond}, lockfree.NewSkipList[int, string](), nil)
+	nc, br := dial(t, srv)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("idle connection not closed")
+	}
+}
+
+// TestServerGracefulDrain is the end-to-end shutdown gate: several
+// connections with pipelined mixed workloads in flight, Shutdown begins
+// after every client's final pipeline is on the wire, and every command
+// sent still receives a response — zero dropped in-flight responses —
+// before the connections close. Run under -race by scripts/check.sh.
+func TestServerGracefulDrain(t *testing.T) {
+	const (
+		clients   = 6
+		pipelines = 8
+		plen      = 16
+	)
+	rec := telemetry.NewRecorder(1)
+	store := lockfree.NewShardedSkipList[int, string](lockfree.EqualSplitters(0, 256, 4))
+	srv := startTCP(t, Config{DrainGrace: 500 * time.Millisecond}, store, rec)
+
+	var wrote, done sync.WaitGroup
+	errc := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wrote.Add(1)
+		done.Add(1)
+		go func(cl int) {
+			defer done.Done()
+			signaled := false
+			defer func() {
+				if !signaled {
+					wrote.Done()
+				}
+			}()
+			nc, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReader(nc)
+			rng := rand.New(rand.NewPCG(7, uint64(cl)))
+			for p := 0; p < pipelines; p++ {
+				var req strings.Builder
+				kinds := make([]byte, plen)
+				for i := range kinds {
+					k := int(rng.Uint64N(256))
+					switch rng.Uint64N(4) {
+					case 0:
+						fmt.Fprintf(&req, "SET %d c%d\n", k, cl)
+						kinds[i] = ':'
+					case 1:
+						fmt.Fprintf(&req, "DEL %d\n", k)
+						kinds[i] = ':'
+					case 2:
+						fmt.Fprintf(&req, "GET %d\n", k)
+						kinds[i] = '$'
+					default:
+						req.WriteString("PING\n")
+						kinds[i] = '+'
+					}
+				}
+				if _, err := nc.Write([]byte(req.String())); err != nil {
+					errc <- fmt.Errorf("client %d write: %w", cl, err)
+					return
+				}
+				if p == pipelines-1 {
+					// Final pipeline is on the wire; shutdown may begin.
+					signaled = true
+					wrote.Done()
+				}
+				for i := 0; i < plen; i++ {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						errc <- fmt.Errorf("client %d pipeline %d: response %d/%d dropped: %w",
+							cl, p, i, plen, err)
+						return
+					}
+					switch kinds[i] {
+					case ':':
+						if !strings.HasPrefix(line, ":") {
+							errc <- fmt.Errorf("client %d: want integer reply, got %q", cl, line)
+							return
+						}
+					case '$':
+						if !strings.HasPrefix(line, "$") && line != "_\n" {
+							errc <- fmt.Errorf("client %d: want value reply, got %q", cl, line)
+							return
+						}
+					case '+':
+						if line != "+PONG\n" {
+							errc <- fmt.Errorf("client %d: want +PONG, got %q", cl, line)
+							return
+						}
+					}
+				}
+			}
+		}(cl)
+	}
+
+	wrote.Wait() // every client's last pipeline is in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain cleanly: %v", err)
+	}
+	done.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if srv.Ready() == nil {
+		t.Fatal("server still ready after Shutdown")
+	}
+	if _, err := net.Dial("tcp", srv.Addr()); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	s := rec.Snapshot().Counters
+	if s.ConnAccepted != clients {
+		t.Fatalf("conn_accepted = %d, want %d", s.ConnAccepted, clients)
+	}
+	if s.ConnActive != 0 {
+		t.Fatalf("conn_active = %d after drain, want 0", s.ConnActive)
+	}
+	if s.CmdsCoalesced == 0 {
+		t.Fatal("pipelined workload coalesced nothing")
+	}
+}
+
+// TestShutdownIdempotent: repeated and pre-Serve Shutdown calls are safe.
+func TestShutdownIdempotent(t *testing.T) {
+	srv := New(Config{}, lockfree.NewSkipList[int, string]())
+	ctx := context.Background()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ListenAndServe(); err != ErrServerClosed {
+		t.Fatalf("Serve after Shutdown = %v, want ErrServerClosed", err)
+	}
+}

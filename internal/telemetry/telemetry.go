@@ -228,6 +228,19 @@ func (r *Recorder) AddCounter(c instrument.Counter, n uint64) {
 	r.shards[shardIndex()&r.mask].counters[c].Add(n)
 }
 
+// AddGauge adjusts a gauge-class counter (instrument.Counter.Gauge) by
+// delta, which may be negative. A decrement is stored as the two's
+// complement, so an individual shard's cell can wrap; the shard sum —
+// what Snapshot reports — recovers the true level modulo 2^64, which is
+// exact as long as the gauge itself never goes negative. Exact, never
+// sampled, like AddCounter.
+func (r *Recorder) AddGauge(c instrument.Counter, delta int64) {
+	if delta == 0 {
+		return
+	}
+	r.shards[shardIndex()&r.mask].counters[c].Add(uint64(delta))
+}
+
 // OpToken carries per-operation state from StartOp to FinishOp. Tokens
 // must not outlive the operation or be reused.
 type OpToken struct {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/instrument"
 	itel "repro/internal/telemetry"
 )
 
@@ -46,6 +47,10 @@ var counterHelp = [itel.NumCounters]string{
 	"Total finger searches that fell back to the head/top (key below the finger, or cold finger).",
 	"Total adaptive-backoff waits (spin or yield) taken after repeated C&S failures.",
 	"Total operations routed to shards of range-sharded maps (one per point op, one per batch element).",
+	"Total network connections accepted by the serving layer.",
+	"Network connections currently open (accepted minus closed).",
+	"Total connections shed at accept time by the connection cap.",
+	"Total pipelined commands absorbed into coalesced batch calls by the serving layer.",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given
@@ -62,11 +67,17 @@ func WriteMetrics(w io.Writer, instances ...*Telemetry) error {
 
 	bw := &errWriter{w: w}
 
-	// Essential-step and diagnostic counters.
+	// Essential-step and diagnostic counters. Gauge-class entries (levels,
+	// e.g. conn_active) drop the _total suffix and export as gauges.
 	for c := 0; c < itel.NumCounters; c++ {
 		name := "lockfree_" + itel.CounterName(c) + "_total"
+		typ := "counter"
+		if instrument.Counter(c).Gauge() {
+			name = "lockfree_" + itel.CounterName(c)
+			typ = "gauge"
+		}
 		bw.printf("# HELP %s %s\n", name, counterHelp[c])
-		bw.printf("# TYPE %s counter\n", name)
+		bw.printf("# TYPE %s %s\n", name, typ)
 		for _, in := range snaps {
 			bw.printf("%s{structure=%q} %d\n", name, in.name, in.snap.Counters.Vector()[c])
 		}

@@ -60,8 +60,6 @@ const (
 type Telemetry struct {
 	name string
 	rec  *itel.Recorder
-
-	expvarOnce sync.Once
 }
 
 // Option configures a Telemetry.
@@ -118,7 +116,8 @@ func New(name string, opts ...Option) *Telemetry {
 
 // Unregister removes t from the package-level Handler's registry, freeing
 // its name for reuse. The expvar registration, if any, is permanent - the
-// standard library offers no removal - and keeps serving t's snapshots.
+// standard library offers no removal - and keeps serving t's snapshots
+// until a successor instance publishes the same name.
 func (t *Telemetry) Unregister() {
 	registryMu.Lock()
 	defer registryMu.Unlock()
@@ -154,16 +153,37 @@ func (t *Telemetry) Snapshot() Snapshot { return t.rec.Snapshot() }
 // creation, for the first call). Handy for periodic rate reporting.
 func (t *Telemetry) Delta() Snapshot { return t.rec.Delta() }
 
+// expvarLive maps a published name to the instance currently serving it.
+// The expvar registration itself is permanent - the standard library
+// offers no removal - so the registered Func resolves the instance at read
+// time: a Telemetry re-created under a published name (Unregister, then
+// New and PublishExpvar again, as tools that run repeatedly in one process
+// do) takes over the existing expvar entry instead of panicking on a
+// duplicate Publish.
+var (
+	expvarMu   sync.Mutex
+	expvarLive = map[string]*Telemetry{}
+)
+
 // PublishExpvar registers the instance in the standard expvar registry
 // under "lockfree:<name>", so its snapshot appears as a JSON object in
-// /debug/vars. Safe to call more than once; the registration persists for
-// the life of the process. Returns t for chaining.
+// /debug/vars. Safe to call more than once, and safe to call for a name a
+// previous (since unregistered) instance published - the entry switches to
+// serving t's snapshots. Returns t for chaining.
 func (t *Telemetry) PublishExpvar() *Telemetry {
-	t.expvarOnce.Do(func() {
-		expvar.Publish("lockfree:"+t.name, expvar.Func(func() any {
-			return expvarView(t.Snapshot())
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	_, published := expvarLive[t.name]
+	expvarLive[t.name] = t
+	if !published {
+		name := t.name
+		expvar.Publish("lockfree:"+name, expvar.Func(func() any {
+			expvarMu.Lock()
+			cur := expvarLive[name]
+			expvarMu.Unlock()
+			return expvarView(cur.Snapshot())
 		}))
-	})
+	}
 	return t
 }
 

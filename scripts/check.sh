@@ -4,7 +4,12 @@
 #   1. go vet over every package,
 #   2. the tier-1 gate (build + tests, as recorded in ROADMAP.md),
 #   3. the test suite again under the race detector,
-#   4. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
+#   4. targeted race passes over the parallelism-shaped packages
+#      (internal/sharded and internal/server) at GOMAXPROCS=2 and 8,
+#   5. a short lflstress -server smoke run: an in-process TCP server per
+#      round, pipelined mixed workloads, linearizability-checked, with
+#      the graceful drain asserted at each round's end,
+#   6. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
 #      base — off by default because microbenchmarks need a quiet machine
 #      to be meaningful.
 #
@@ -30,6 +35,21 @@ go test -race ./...
 echo "== race: sharded fan-out at GOMAXPROCS=2 and GOMAXPROCS=8 =="
 GOMAXPROCS=2 go test -race -count=1 ./internal/sharded
 GOMAXPROCS=8 go test -race -count=1 ./internal/sharded
+
+# The serving layer's reader/writer split, accept-time shedding, and
+# shutdown drain are all goroutine-scheduling shaped: race them at both
+# core counts too.
+echo "== race: serving layer at GOMAXPROCS=2 and GOMAXPROCS=8 =="
+GOMAXPROCS=2 go test -race -count=1 ./internal/server
+GOMAXPROCS=8 go test -race -count=1 ./internal/server
+
+# End-to-end serving smoke: lflstress in -server self mode starts a real
+# TCP server per round, drives it with pipelined mixed workloads over
+# several connections, checks every history for linearizability, and
+# asserts the graceful drain loses no in-flight response. A few seconds of
+# wall clock, bounded by the small op counts.
+echo "== lflstress -server self smoke =="
+go run ./cmd/lflstress -server self -threads 6 -ops 500 -keys 64 -rounds 4 -batch 8
 
 if [ "${BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff: perf gate =="
