@@ -41,6 +41,10 @@ type benchJSON struct {
 	GoMaxProcs int        `json:"go_max_procs"`
 	Quick      bool       `json:"quick"`
 	Benchmarks []benchRow `json:"benchmarks"`
+	// OpenLoop is written by the -openloop stage (see openloop.go); the
+	// bench stage preserves whatever is already there, so the two stages
+	// can refresh their halves of the file independently.
+	OpenLoop *openLoopResult `json:"open_loop,omitempty"`
 }
 
 type benchRow struct {
@@ -273,6 +277,12 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		Schema:     "lflbench/v1",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      quick,
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		var prev benchJSON
+		if json.Unmarshal(data, &prev) == nil {
+			out.OpenLoop = prev.OpenLoop // keep the -openloop stage's section
+		}
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered, ops=%d) ==\n",
 		workload.Balanced, clusteredMix, ops)

@@ -7,6 +7,8 @@
 //
 //	lflbench [-exp e1,e2,...,bench|all] [-quick] [-json FILE] [-telemetry-addr HOST:PORT]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	lflbench -openloop [-openloop-rate 20000] [-openloop-duration 5s]
+//	         [-openloop-conns 4] [-openloop-keyrange 65536]
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
 // full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
@@ -14,6 +16,13 @@
 // while the run is in progress. -cpuprofile records a pprof CPU profile
 // covering every selected experiment; -memprofile writes a heap profile
 // (after a forced GC) when the run completes. Both feed `go tool pprof`.
+//
+// -openloop runs the coordinated-omission-free serving-latency stage: an
+// in-process lflserver driven at a fixed arrival rate, with per-verb
+// client-observed p50/p99/p999 (measured from the scheduled send instant,
+// so stalls are charged to the ops that waited) and the server's own
+// per-verb histograms folded into the open_loop section of the JSON file.
+// With -openloop and no explicit -exp, only the open-loop stage runs.
 package main
 
 import (
@@ -44,9 +53,16 @@ func run(args []string) error {
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address during the run")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file when the run completes")
+	openLoop := fs.Bool("openloop", false, "run the fixed-arrival-rate serving-latency stage")
+	olRate := fs.Int("openloop-rate", 20_000, "open-loop offered rate, total ops/sec across connections")
+	olDur := fs.Duration("openloop-duration", 5*time.Second, "open-loop measured window")
+	olConns := fs.Int("openloop-conns", 4, "open-loop client connections")
+	olRange := fs.Int("openloop-keyrange", 65536, "open-loop key range (half prefilled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	expSet := false
+	fs.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -61,7 +77,10 @@ func run(args []string) error {
 	}
 
 	want := map[string]bool{}
-	if *expFlag == "all" {
+	if *openLoop && !expSet {
+		// -openloop alone runs just the serving-latency stage; combine
+		// with an explicit -exp to run both in one invocation.
+	} else if *expFlag == "all" {
 		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "bench"} {
 			want[e] = true
 		}
@@ -114,8 +133,20 @@ func run(args []string) error {
 		fmt.Printf("[%s finished in %v]\n\n", r.name, time.Since(begin).Round(time.Millisecond))
 		ran++
 	}
+	if *openLoop {
+		begin := time.Now()
+		out, err := runOpenLoop(*jsonPath, openLoopConfig{
+			rate: *olRate, duration: *olDur, conns: *olConns, keyRange: *olRange,
+		}, *quick)
+		if err != nil {
+			return fmt.Errorf("openloop: %w", err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[openloop finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
+		ran++
+	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, or all)")
+		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, or -openloop)")
 	}
 
 	if *memProfile != "" {

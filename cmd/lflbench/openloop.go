@@ -1,0 +1,339 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/server"
+	"repro/lockfree"
+)
+
+// The open-loop stage measures serving latency the way a production
+// client experiences it. A closed-loop harness (issue, wait, issue)
+// self-throttles under load: when the server slows down, the offered
+// rate drops with it and the tail quietly disappears from the record —
+// coordinated omission. Here each connection issues commands on a fixed
+// arrival schedule, and latency is measured from the *scheduled* send
+// instant to the response read, so an op that waited behind a stalled
+// predecessor is charged for the wait. p999 from this stage is an honest
+// tail; the server-side per-verb histograms from the same run separate
+// in-server time from client-observed time.
+
+// openLoopResult is the open_loop section of BENCH_lflbench.json.
+type openLoopResult struct {
+	RatePerSec  int     `json:"rate_per_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	Conns       int     `json:"conns"`
+	KeyRange    int     `json:"key_range"`
+	Mix         string  `json:"mix"`
+	OpsSent     uint64  `json:"ops_sent"`
+	Errors      uint64  `json:"errors"`
+	// LateSends counts ops whose actual write fell more than one arrival
+	// interval behind schedule — the saturation tell: a rate the server
+	// cannot absorb shows up here before it shows up in the quantiles.
+	LateSends    uint64  `json:"late_sends"`
+	AchievedRate float64 `json:"achieved_rate_per_sec"`
+	// Client is latency from scheduled send to response read (wire +
+	// queueing + server); Server is the serving layer's own per-verb
+	// histogram over the same run (read-complete to write-flushed).
+	Client map[string]openLoopVerb `json:"client"`
+	Server map[string]openLoopVerb `json:"server"`
+}
+
+type openLoopVerb struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	P999NS int64  `json:"p999_ns"`
+}
+
+// openLoopConfig carries the -openloop-* flags.
+type openLoopConfig struct {
+	rate     int
+	duration time.Duration
+	conns    int
+	keyRange int
+}
+
+// openLoopVerbs are the client-issued verbs, in the fixed j%10 rotation
+// order: 1 SET, 1 DEL, 8 GETs per ten ops (the read-heavy clustered mix
+// of the bench stage, served over the wire).
+const openLoopMix = "10% set / 10% del / 80% get"
+
+// runOpenLoop starts an in-process lflserver, drives it at the fixed
+// arrival rate, folds the open_loop section into the JSON file at path
+// (preserving any bench rows already there), and returns a summary table.
+func runOpenLoop(path string, cfg openLoopConfig, quick bool) (string, error) {
+	if quick {
+		cfg.rate = min(cfg.rate, 5_000)
+		cfg.duration = min(cfg.duration, time.Second)
+	}
+	if cfg.conns < 1 || cfg.rate < cfg.conns {
+		return "", fmt.Errorf("openloop: need rate >= conns >= 1 (rate %d, conns %d)", cfg.rate, cfg.conns)
+	}
+
+	tel, err := newBenchTelemetry("openloop-server", 1)
+	if err != nil {
+		return "", err
+	}
+	defer tel.Unregister()
+	store := lockfree.NewShardedSkipList[int, string](
+		lockfree.EqualSplitters(0, cfg.keyRange, 4), lockfree.WithTelemetry(tel))
+	srv := server.New(server.Config{
+		Addr:     "127.0.0.1:0",
+		MaxConns: cfg.conns + 8,
+		MaxBatch: 256,
+		MaxRange: 4096,
+	}, store)
+	srv.SetTelemetry(tel.Recorder())
+	obs := server.NewObs(server.ObsConfig{SampleEvery: 64})
+	srv.SetObs(obs)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	for i := 0; srv.Addr() == "" && i < 1000; i++ {
+		select {
+		case err := <-errc:
+			return "", err
+		case <-time.After(time.Millisecond):
+		}
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// Prefill half the key range so GETs split between hits and misses and
+	// DELs have something to unlink; prefill traffic goes over the wire too
+	// but before the measured window opens.
+	if err := openLoopPrefill(srv.Addr(), cfg.keyRange); err != nil {
+		return "", err
+	}
+	serverBase := make([]instrument.HistSnapshot, server.NumVerbs)
+	for v := 0; v < server.NumVerbs; v++ {
+		serverBase[v] = obs.VerbLatency(server.Verb(v))
+	}
+
+	perConn := cfg.rate / cfg.conns
+	opsPerConn := int(float64(perConn) * cfg.duration.Seconds())
+	interval := time.Duration(float64(time.Second) / float64(perConn))
+
+	var (
+		wg        sync.WaitGroup
+		errs      atomic.Uint64
+		late      atomic.Uint64
+		firstErr  atomic.Pointer[error]
+		clientLat [server.NumVerbs]instrument.Hist
+	)
+	begin := time.Now()
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			err := openLoopConn(srv.Addr(), cfg, c, opsPerConn, interval, &clientLat, &errs, &late)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if ep := firstErr.Load(); ep != nil {
+		return "", *ep
+	}
+
+	sent := uint64(opsPerConn * cfg.conns)
+	res := openLoopResult{
+		RatePerSec:   cfg.rate,
+		DurationSec:  cfg.duration.Seconds(),
+		Conns:        cfg.conns,
+		KeyRange:     cfg.keyRange,
+		Mix:          openLoopMix,
+		OpsSent:      sent,
+		Errors:       errs.Load(),
+		LateSends:    late.Load(),
+		AchievedRate: float64(sent) / elapsed.Seconds(),
+		Client:       map[string]openLoopVerb{},
+		Server:       map[string]openLoopVerb{},
+	}
+	for v := 0; v < server.NumVerbs; v++ {
+		if cl := clientLat[v].Snapshot(); cl.Count > 0 {
+			res.Client[server.Verb(v).Label()] = quantileRow(cl)
+		}
+		if sv := obs.VerbLatency(server.Verb(v)).Sub(serverBase[v]); sv.Count > 0 {
+			res.Server[server.Verb(v).Label()] = quantileRow(sv)
+		}
+	}
+
+	if err := mergeOpenLoopJSON(path, &res); err != nil {
+		return "", err
+	}
+	return renderOpenLoop(&res, path), nil
+}
+
+func quantileRow(s instrument.HistSnapshot) openLoopVerb {
+	row := openLoopVerb{Count: s.Count, MeanNS: int64(s.Mean())}
+	if v, ok := s.Quantile(0.50); ok {
+		row.P50NS = v
+	}
+	if v, ok := s.Quantile(0.99); ok {
+		row.P99NS = v
+	}
+	if v, ok := s.Quantile(0.999); ok {
+		row.P999NS = v
+	}
+	return row
+}
+
+// openLoopConn drives one connection on its fixed arrival schedule. The
+// writer never waits for responses; a reader goroutine matches them FIFO
+// (every issued verb yields exactly one response line) and records
+// latency against the scheduled instant carried through inflight.
+func openLoopConn(addr string, cfg openLoopConfig, id, ops int, interval time.Duration,
+	lat *[server.NumVerbs]instrument.Hist, errs, late *atomic.Uint64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	type inflightOp struct {
+		verb      server.Verb
+		scheduled time.Time
+	}
+	inflight := make(chan inflightOp, 4096)
+	readErr := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(conn)
+		for op := range inflight {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				readErr <- fmt.Errorf("conn %d read: %w", id, err)
+				return
+			}
+			lat[op.verb].Record(time.Since(op.scheduled).Nanoseconds())
+			if strings.HasPrefix(line, "-") {
+				errs.Add(1)
+			}
+		}
+		readErr <- nil
+	}()
+
+	w := bufio.NewWriter(conn)
+	rng := rand.New(rand.NewPCG(uint64(id)+1, 83))
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			// time.Sleep can oversleep by a timer tick; the slip is charged
+			// to the op (latency counts from scheduled, not sent), which is
+			// exactly the open-loop contract. Spinning the slack away would
+			// be more precise on an idle many-core box but starves the
+			// server when cores are scarce — worse measurement, not better.
+			time.Sleep(d)
+		} else if -d > interval {
+			late.Add(1)
+		}
+		k := int(rng.Uint64N(uint64(cfg.keyRange)))
+		var verb server.Verb
+		switch i % 10 {
+		case 0:
+			verb = server.VerbSet
+			fmt.Fprintf(w, "SET %d v%d\n", k, k)
+		case 1:
+			verb = server.VerbDel
+			fmt.Fprintf(w, "DEL %d\n", k)
+		default:
+			verb = server.VerbGet
+			fmt.Fprintf(w, "GET %d\n", k)
+		}
+		if err := w.Flush(); err != nil {
+			close(inflight)
+			<-readErr
+			return fmt.Errorf("conn %d write: %w", id, err)
+		}
+		inflight <- inflightOp{verb: verb, scheduled: scheduled}
+	}
+	close(inflight)
+	return <-readErr
+}
+
+// openLoopPrefill loads every even key, pipelined in one burst.
+func openLoopPrefill(addr string, keyRange int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	n := 0
+	for k := 0; k < keyRange; k += 2 {
+		fmt.Fprintf(w, "SET %d v%d\n", k, k)
+		n++
+	}
+	fmt.Fprint(w, "QUIT\n")
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	r := bufio.NewReader(conn)
+	for i := 0; i <= n; i++ {
+		if _, err := r.ReadString('\n'); err != nil {
+			return fmt.Errorf("prefill response %d/%d: %w", i, n+1, err)
+		}
+	}
+	return nil
+}
+
+// mergeOpenLoopJSON folds res into the JSON file at path, preserving the
+// bench rows (and everything else) an earlier stage may have written.
+func mergeOpenLoopJSON(path string, res *openLoopResult) error {
+	out := benchJSON{Schema: "lflbench/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			return fmt.Errorf("%s exists but is not valid lflbench JSON: %w", path, err)
+		}
+	}
+	out.OpenLoop = res
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func renderOpenLoop(res *openLoopResult, path string) string {
+	text := fmt.Sprintf("== openloop: fixed-arrival-rate serving latency (%d ops/s over %d conns, %s) ==\n",
+		res.RatePerSec, res.Conns, res.Mix)
+	text += fmt.Sprintf("sent %d ops in %.2fs (achieved %.0f ops/s), %d errors, %d late sends\n",
+		res.OpsSent, res.DurationSec, res.AchievedRate, res.Errors, res.LateSends)
+	text += fmt.Sprintf("%-6s %-8s %10s %10s %10s %10s\n", "side", "verb", "mean", "p50", "p99", "p999")
+	for _, side := range []struct {
+		name  string
+		verbs map[string]openLoopVerb
+	}{{"client", res.Client}, {"server", res.Server}} {
+		for v := 0; v < server.NumVerbs; v++ {
+			label := server.Verb(v).Label()
+			row, ok := side.verbs[label]
+			if !ok {
+				continue
+			}
+			text += fmt.Sprintf("%-6s %-8s %10s %10s %10s %10s\n", side.name, label,
+				time.Duration(row.MeanNS), time.Duration(row.P50NS),
+				time.Duration(row.P99NS), time.Duration(row.P999NS))
+		}
+	}
+	text += fmt.Sprintf("wrote %s\n", path)
+	return text
+}

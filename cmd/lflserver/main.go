@@ -7,17 +7,22 @@
 //
 // Usage:
 //
-//	lflserver [-addr 127.0.0.1:7379] [-admin-addr HOST:PORT]
+//	lflserver [-addr 127.0.0.1:7379] [-admin-addr HOST:PORT] [-pprof]
 //	          [-shards 4] [-key-lo 0] [-key-hi 1048576]
 //	          [-max-conns 1024] [-max-batch 256] [-max-range 4096]
+//	          [-trace-sample 64] [-trace-cap 1024] [-slow-ms 10]
 //	          [-idle-timeout 5m] [-drain-timeout 10s]
 //
 // With -admin-addr, an observability listener serves Prometheus /metrics
-// (store and connection counters), expvar /debug/vars, and the /healthz
-// and /readyz probes; /readyz starts failing the moment shutdown begins.
-// SIGINT or SIGTERM triggers a graceful drain: the server stops accepting,
-// serves commands already on the wire, and exits once every connection has
-// flushed — or after -drain-timeout, whichever comes first.
+// (store and connection counters, per-verb latency histograms, and the
+// runtime/metrics bridge), expvar /debug/vars, the sampled-operation ring
+// at /debug/trace, and the /healthz and /readyz probes; /readyz starts
+// failing the moment shutdown begins. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ — opt-in because profiles can stall
+// the process and leak internals. SIGINT or SIGTERM triggers a graceful
+// drain: the server stops accepting, serves commands already on the wire,
+// and exits once every connection has flushed — or after -drain-timeout,
+// whichever comes first.
 package main
 
 import (
@@ -53,6 +58,10 @@ func run(args []string) error {
 	maxRange := fs.Int("max-range", 4096, "max pairs one RANGE may return")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -admin-addr)")
+	traceSample := fs.Int("trace-sample", 64, "trace every Nth command unit (a power of two; 1 = every unit)")
+	traceCap := fs.Int("trace-cap", 1024, "capacity of the sampled-operation trace ring")
+	slowMS := fs.Int("slow-ms", 10, "always trace command units whose store execution exceeds this many milliseconds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,9 +94,26 @@ func run(args []string) error {
 	}, store)
 	srv.SetTelemetry(tel.Recorder())
 
+	obs := server.NewObs(server.ObsConfig{
+		SampleEvery:   *traceSample,
+		TraceCap:      *traceCap,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+	})
+	srv.SetObs(obs)
+
 	shutdowners := []server.Shutdowner{srv}
 	if *adminAddr != "" {
-		admin, err := obshttp.ServeAdmin(*adminAddr, srv.Healthy, srv.Ready)
+		// One scrape answers the full latency question: the store's own
+		// counters, the serving layer's per-verb histograms, and the
+		// runtime signals (GC pauses, scheduler latency) that explain
+		// tail spikes the structures cannot.
+		ltel.RegisterCollector("lflserver-obs", obs.WritePrometheus)
+		ltel.RegisterRuntimeCollector()
+		opts := []obshttp.Option{obshttp.WithHandler("/debug/trace", obs.TraceHandler())}
+		if *pprofOn {
+			opts = append(opts, obshttp.WithPprof())
+		}
+		admin, err := obshttp.ServeAdmin(*adminAddr, srv.Healthy, srv.Ready, opts...)
 		if err != nil {
 			return err
 		}

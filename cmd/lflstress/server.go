@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/instrument"
 	"repro/internal/server"
 	"repro/lockfree"
 	ltel "repro/lockfree/telemetry"
@@ -43,6 +44,14 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 	if shards < 1 || shards&(shards-1) != 0 {
 		return fmt.Errorf("-shards %d: shard count must be a power of two", shards)
 	}
+	// In self mode one Obs spans every round's server, so the per-verb
+	// latency histograms accumulate across rounds and the periodic delta
+	// can report serving-layer p99/p999 alongside the structure counters.
+	var obs *server.Obs
+	var prevVerb [server.NumVerbs]instrument.HistSnapshot
+	if tel != nil && addr == "self" {
+		obs = server.NewObs(server.ObsConfig{})
+	}
 	totalOps := 0
 	for round := 0; round < rounds; round++ {
 		target, keyBase := addr, round*keyRange
@@ -62,6 +71,9 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 			srv = server.New(server.Config{}, store)
 			if tel != nil {
 				srv.SetTelemetry(tel.Recorder())
+			}
+			if obs != nil {
+				srv.SetObs(obs)
 			}
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
@@ -110,6 +122,9 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 		totalOps += threads * ops
 		if tel != nil && telEvery > 0 && (round+1)%telEvery == 0 {
 			printTelemetryDelta(round+1, tel.Delta())
+			if obs != nil {
+				printVerbLatencyDelta(obs, &prevVerb)
+			}
 		}
 	}
 	fmt.Printf("ok: server %s passed %d rounds, %d checked operations over TCP, all histories linearizable\n",
@@ -198,6 +213,33 @@ func clearKeys(target string, keyBase, keyRange int) error {
 		}
 	}
 	return nil
+}
+
+// printVerbLatencyDelta reports the serving layer's per-verb latency over
+// the interval since the previous call: count, mean, and the p50/p99/p999
+// tail quantiles out of the per-verb histograms. prev carries the last
+// snapshot so each interval reports its own traffic, not the cumulative
+// run.
+func printVerbLatencyDelta(obs *server.Obs, prev *[server.NumVerbs]instrument.HistSnapshot) {
+	for v := 0; v < server.NumVerbs; v++ {
+		cur := obs.VerbLatency(server.Verb(v))
+		d := cur.Sub(prev[v])
+		prev[v] = cur
+		if d.Count == 0 {
+			continue
+		}
+		line := fmt.Sprintf("[telemetry]   verb %-5s n=%-7d mean=%v",
+			server.Verb(v).Label(), d.Count, time.Duration(int64(d.Mean())))
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+			if ns, ok := d.Quantile(q.q); ok {
+				line += fmt.Sprintf(" %s=%v", q.name, time.Duration(ns))
+			}
+		}
+		fmt.Println(line)
+	}
 }
 
 // parseReply maps a response line to the boolean the history checker

@@ -1,0 +1,234 @@
+package instrument
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is a lock-free log-bucketed (HDR-style) histogram of non-negative
+// int64 values. It is the latency primitive of the serving layer's
+// request observability: recording is one bucket computation (a handful
+// of bit operations) plus three striped-free atomic adds — no allocation,
+// no lock, no clock read — so it can sit on the per-command hot path.
+//
+// Bucket layout: values 0..15 get exact buckets; above that, each power
+// of two is split into four sub-buckets (two mantissa bits), bounding the
+// relative quantization error at ~12.5% — the HDR-histogram trade-off —
+// up to ~2^45 (≈ 9.7 hours in nanoseconds). Larger values clamp into the
+// last bucket. The same layout serves nanosecond latencies, queue waits,
+// and coalesced-batch sizes; only the unit interpretation differs.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use. Like the telemetry recorder's striped counters, concurrent Record
+// calls land on independent atomic words almost always (different
+// latencies → different buckets); the count/sum words are the only shared
+// hot words, which matches the serving layer's per-connection fan-in.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistNumBuckets]atomic.Uint64
+}
+
+// Histogram geometry. histExact small values get exact buckets;
+// histSubBits mantissa bits split every octave above into 1<<histSubBits
+// sub-buckets; histMaxExp caps the value range.
+const (
+	histExact   = 16 // values 0..15 recorded exactly
+	histSubBits = 2  // 4 sub-buckets per power of two
+	histSub     = 1 << histSubBits
+	histMaxExp  = 45 // top octave ≈ 9.7h in ns; larger values overflow
+
+	// HistNumBuckets is the fixed bucket count of every Hist; the final
+	// bucket is the open-ended overflow cell.
+	HistNumBuckets = histExact + (histMaxExp-histExactExp)*histSub + 1
+
+	histExactExp = 4 // log2(histExact)
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v int64) int {
+	if v < histExact {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // e >= histExactExp
+	if e >= histMaxExp {
+		return HistNumBuckets - 1
+	}
+	sub := int(uint64(v)>>(e-histSubBits)) & (histSub - 1)
+	return histExact + (e-histExactExp)*histSub + sub
+}
+
+// HistUpperBound returns the inclusive upper bound of bucket i: every
+// recorded value v with HistUpperBound(i-1) < v <= HistUpperBound(i)
+// lands in bucket i. The final (overflow) bucket has no bound — render it
+// as +Inf; this function returns MaxInt64 for it.
+func HistUpperBound(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	if i >= HistNumBuckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	e := histExactExp + (i-histExact)/histSub
+	sub := (i - histExact) % histSub
+	// The bucket holds values whose top bits are 1<<e | sub<<(e-histSubBits);
+	// its upper bound is the last value before the next sub-bucket.
+	return (int64(histSub+sub+1) << (e - histSubBits)) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero (defensive:
+// a monotonic-clock regression must not corrupt a bucket index).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	h.buckets[histBucket(v)].Add(1)
+}
+
+// RecordN adds n identical observations in one shot — the coalesced-run
+// path, where every command in a run shares the run's wall latency.
+func (h *Hist) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(n)
+	h.sum.Add(uint64(v) * n)
+	h.buckets[histBucket(v)].Add(n)
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram's current state. Like the telemetry
+// snapshots, it is consistent-enough: each word is read atomically, the
+// set is not read under a global lock.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Hist.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistNumBuckets]uint64
+}
+
+// Sub returns s - prev field-by-field with saturating subtraction, for
+// interval (delta) reporting. The caller must pass a genuinely earlier
+// snapshot of the same histogram.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: satSub(s.Count, prev.Count), Sum: satSub(s.Sum, prev.Sum)}
+	for i := range s.Buckets {
+		d.Buckets[i] = satSub(s.Buckets[i], prev.Buckets[i])
+	}
+	return d
+}
+
+// Merge returns the bucket-wise sum of s and o (same geometry always, the
+// layout is fixed), for collapsing per-dimension histograms into one.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	m := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	for i := range s.Buckets {
+		m.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return m
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the snapshot, linearly
+// interpolated inside the winning bucket. The last bucket reports its
+// lower bound. ok is false when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) (v int64, ok bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = HistUpperBound(i-1) + 1
+		}
+		if i == HistNumBuckets-1 {
+			return lo, true // clamp bucket: report its lower bound
+		}
+		hi := HistUpperBound(i)
+		frac := (rank - prev) / float64(c)
+		return lo + int64(frac*float64(hi-lo)), true
+	}
+	return HistUpperBound(HistNumBuckets - 1), true
+}
+
+// Mean returns the mean observation; 0 when empty.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return int64(s.Sum / s.Count)
+}
+
+// Octaves collapses the snapshot to per-power-of-two buckets for
+// rendering: OctaveBounds()[i] is the inclusive upper bound of the
+// returned counts[i], and every recorded value above the last bound sits
+// in the final (+Inf) cell. Exporters render this coarse view — a stable,
+// compact le-set — while quantiles keep the full sub-bucket resolution.
+func (s HistSnapshot) Octaves() [histMaxExp - histExactExp + 2]uint64 {
+	var out [histMaxExp - histExactExp + 2]uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case i < histExact:
+			out[0] += c
+		case i == HistNumBuckets-1:
+			out[len(out)-1] += c
+		default:
+			out[1+(i-histExact)/histSub] += c
+		}
+	}
+	return out
+}
+
+// NumOctaves is the length of Octaves()/OctaveBounds(); the final cell is
+// the +Inf bucket.
+const NumOctaves = histMaxExp - histExactExp + 2
+
+// OctaveBounds returns the inclusive upper bounds of the octave view; the
+// final cell has no bound (+Inf).
+func OctaveBounds() [NumOctaves - 1]int64 {
+	var out [NumOctaves - 1]int64
+	out[0] = histExact - 1
+	for e := histExactExp; e < histMaxExp; e++ {
+		out[1+e-histExactExp] = int64(1)<<(e+1) - 1
+	}
+	return out
+}

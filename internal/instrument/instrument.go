@@ -34,6 +34,7 @@ type OpStats struct {
 	ConnActive         uint64 // network connections currently open (gauge, not monotonic)
 	ConnRejected       uint64 // connections shed at accept time (connection cap)
 	CmdsCoalesced      uint64 // pipelined commands absorbed into batch calls
+	CmdsSlow           uint64 // commands whose store execution crossed the slow-trace threshold
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -60,6 +61,7 @@ const (
 	CtrConnActive
 	CtrConnRejected
 	CtrCmdsCoalesced
+	CtrCmdsSlow
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -83,6 +85,7 @@ var CounterNames = [NumCounters]string{
 	CtrConnActive:         "conn_active",
 	CtrConnRejected:       "conn_rejected",
 	CtrCmdsCoalesced:      "cmds_coalesced",
+	CtrCmdsSlow:           "cmds_slow",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -107,6 +110,7 @@ func (s *OpStats) Vector() Vector {
 		CtrConnActive:         s.ConnActive,
 		CtrConnRejected:       s.ConnRejected,
 		CtrCmdsCoalesced:      s.CmdsCoalesced,
+		CtrCmdsSlow:           s.CmdsSlow,
 	}
 }
 
@@ -128,6 +132,7 @@ func (s *OpStats) FromVector(v Vector) {
 	s.ConnActive = v[CtrConnActive]
 	s.ConnRejected = v[CtrConnRejected]
 	s.CmdsCoalesced = v[CtrCmdsCoalesced]
+	s.CmdsSlow = v[CtrCmdsSlow]
 }
 
 // AddVector accumulates v into s.

@@ -10,6 +10,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	ltel "repro/lockfree/telemetry"
@@ -34,13 +35,44 @@ func (h *Handle) Addr() string { return h.ln.Addr().String() }
 // new ones are refused, and stragglers are cut when ctx expires.
 func (h *Handle) Shutdown(ctx context.Context) error { return h.srv.Shutdown(ctx) }
 
+// Option extends the admin mux beyond the default endpoint set.
+type Option func(*adminCfg)
+
+type adminCfg struct {
+	pprof    bool
+	handlers []handlerMount
+}
+
+type handlerMount struct {
+	pattern string
+	h       http.Handler
+}
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ —
+// CPU, heap, goroutine, block, and mutex profiles plus execution traces.
+// Profiling endpoints can stall the process (a CPU profile runs for
+// seconds) and leak internals, so they are opt-in behind this option and,
+// in the commands, behind an explicit flag.
+func WithPprof() Option { return func(c *adminCfg) { c.pprof = true } }
+
+// WithHandler mounts h at pattern on the admin mux — the hook commands
+// use to expose tool-specific surfaces such as the serving layer's
+// /debug/trace sampled-operation ring.
+func WithHandler(pattern string, h http.Handler) Option {
+	return func(c *adminCfg) { c.handlers = append(c.handlers, handlerMount{pattern, h}) }
+}
+
 // ServeAdmin binds addr (":0" picks a free port) and serves /metrics,
-// /debug/vars, /healthz, and /readyz until Shutdown. The probes decide
-// the HTTP status of the last two: nil error is 200, anything else 503
-// with the error text in the body — the readiness probe should start
-// failing the moment shutdown begins, so load balancers stop routing
-// before connections are cut.
-func ServeAdmin(addr string, healthz, readyz Probe) (*Handle, error) {
+// /debug/vars, /healthz, and /readyz — plus whatever the options mount —
+// until Shutdown. The probes decide the HTTP status of the probe
+// endpoints: nil error is 200, anything else 503 with the error text in
+// the body — the readiness probe should start failing the moment shutdown
+// begins, so load balancers stop routing before connections are cut.
+func ServeAdmin(addr string, healthz, readyz Probe, opts ...Option) (*Handle, error) {
+	var cfg adminCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -50,6 +82,16 @@ func ServeAdmin(addr string, healthz, readyz Probe) (*Handle, error) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/healthz", probeHandler(healthz))
 	mux.Handle("/readyz", probeHandler(readyz))
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for _, m := range cfg.handlers {
+		mux.Handle(m.pattern, m.h)
+	}
 	h := &Handle{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
 	go h.srv.Serve(ln)
 	return h, nil

@@ -1,0 +1,83 @@
+package obshttp
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeAdminEndpoints(t *testing.T) {
+	var notReady error
+	h, err := ServeAdmin("127.0.0.1:0", nil, func() error { return notReady })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		h.Shutdown(ctx)
+	}()
+	base := "http://" + h.Addr()
+
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.HasPrefix(body, "{") {
+		t.Fatalf("/debug/vars = %d, %q", code, body)
+	}
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d, %q", code, body)
+	}
+	notReady = errors.New("draining")
+	if code, body := get(t, base+"/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz = %d, %q", code, body)
+	}
+
+	// Without WithPprof the profiling surface must not exist.
+	if code, _ := get(t, base+"/debug/pprof/goroutine?debug=1"); code != 404 {
+		t.Fatalf("pprof mounted without opt-in: %d", code)
+	}
+}
+
+func TestServeAdminOptions(t *testing.T) {
+	custom := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"records":[]}`))
+	})
+	h, err := ServeAdmin("127.0.0.1:0", nil, nil,
+		WithPprof(), WithHandler("/debug/trace", custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		h.Shutdown(ctx)
+	}()
+	base := "http://" + h.Addr()
+
+	if code, body := get(t, base+"/debug/pprof/goroutine?debug=1"); code != 200 ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine = %d, %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/trace"); code != 200 || !strings.Contains(body, "records") {
+		t.Fatalf("/debug/trace = %d, %q", code, body)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 )
 
 // conn is one client connection. Two goroutines serve it:
@@ -47,6 +48,26 @@ type conn struct {
 	flags []bool
 
 	scratchNum [24]byte // integer-rendering scratch for responses
+
+	// observability state, touched only when srv.obs != nil. pend holds
+	// the current run's executed units so their shared read-complete-to-
+	// write-flushed latency can be recorded once the flush lands;
+	// queueWait is the current run's reader-to-writer wait, copied into
+	// trace records. proc/procStats are the pre-allocated attribution
+	// context attached to sampled store calls — per-connection, so the
+	// sampled hot path never allocates.
+	pend      []pendUnit
+	queueWait int64
+	proc      core.Proc
+	procStats core.OpStats
+}
+
+// pendUnit is one executed unit (point command or coalesced batch)
+// awaiting its post-flush latency record.
+type pendUnit struct {
+	verb  Verb
+	class uint8
+	n     uint32
 }
 
 // entry is one parsed request: a command, or the parse error to answer.
@@ -56,18 +77,24 @@ type entry struct {
 }
 
 // workRun is a pipelined run of requests handed from reader to writer.
+// enq is the hand-off Nanotime — the run's read-complete instant, the
+// zero point of its commands' latency — stamped only when observability
+// is attached.
 type workRun struct {
 	entries []entry
+	enq     int64
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
+	c := &conn{
 		srv:  s,
 		nc:   nc,
 		br:   bufio.NewReaderSize(nc, 8<<10),
 		bw:   bufio.NewWriterSize(nc, 8<<10),
 		runs: make(chan workRun, 4),
 	}
+	c.proc.Stats = &c.procStats
+	return c
 }
 
 // serve runs the writer loop to completion; it is the connection's
@@ -84,6 +111,7 @@ func (c *conn) serve() {
 			if c.flush() != nil {
 				quit = true
 			}
+			c.finishObs(r.enq)
 		}
 		// After QUIT (or a dead transport) remaining runs are drained
 		// unanswered so the reader can never block on a full channel.
@@ -143,10 +171,12 @@ func (c *conn) readLoop() {
 			case errors.Is(err, ErrLineTooLong):
 				run.entries = append(run.entries, entry{err: err})
 			default:
+				c.stampRun(&run)
 				c.runs <- run
 				return
 			}
 		}
+		c.stampRun(&run)
 		c.runs <- run
 		if sawQuit {
 			return
@@ -214,6 +244,11 @@ func (c *conn) readLine() ([]byte, error) {
 // everything else executes singly. Responses land in request order.
 // Returns true when the run asked to close the connection.
 func (c *conn) execute(r workRun) (quit bool) {
+	if c.srv.obs != nil {
+		c.queueWait = telemetry.Nanotime() - r.enq
+		c.srv.obs.recordQueueWait(c.queueWait)
+		c.pend = c.pend[:0]
+	}
 	e := r.entries
 	for i := 0; i < len(e); {
 		if e[i].err != nil {
@@ -264,6 +299,21 @@ func (c *conn) executeBatch(v Verb, e []entry) {
 	c.ord = ord
 	flags := growTo(&c.flags, n)
 
+	// A trace-sampled batch runs through the store's attribution surface
+	// with the connection's pre-allocated Proc, so its trace carries exact
+	// step counts; every other batch takes the plain path untouched.
+	obs := c.srv.obs
+	var sampled, attrib bool
+	var start int64
+	if obs != nil {
+		sampled = obs.sampleNext()
+		attrib = sampled && c.srv.procStore != nil
+		if attrib {
+			c.procStats.Reset()
+		}
+		start = telemetry.Nanotime()
+	}
+
 	switch v {
 	case VerbSet:
 		items := c.items[:0]
@@ -271,14 +321,22 @@ func (c *conn) executeBatch(v Verb, e []entry) {
 			items = append(items, core.KV[int, string]{Key: e[oi].cmd.Key, Value: e[oi].cmd.Value})
 		}
 		c.items = items
-		c.srv.store.InsertBatch(items, flags)
+		if attrib {
+			c.srv.procStore.InsertBatchProc(&c.proc, items, flags)
+		} else {
+			c.srv.store.InsertBatch(items, flags)
+		}
 	case VerbDel:
 		keys := c.keys[:0]
 		for _, oi := range ord {
 			keys = append(keys, e[oi].cmd.Key)
 		}
 		c.keys = keys
-		c.srv.store.DeleteBatch(keys, flags)
+		if attrib {
+			c.srv.procStore.DeleteBatchProc(&c.proc, keys, flags)
+		} else {
+			c.srv.store.DeleteBatch(keys, flags)
+		}
 	default: // VerbGet
 		keys := c.keys[:0]
 		for _, oi := range ord {
@@ -286,7 +344,15 @@ func (c *conn) executeBatch(v Verb, e []entry) {
 		}
 		c.keys = keys
 		vals := growTo(&c.vals, n)
-		c.srv.store.GetBatch(keys, vals, flags)
+		if attrib {
+			c.srv.procStore.GetBatchProc(&c.proc, keys, vals, flags)
+		} else {
+			c.srv.store.GetBatch(keys, vals, flags)
+		}
+	}
+
+	if obs != nil {
+		c.noteUnit(v, e[ord[0]].cmd.Key, n, telemetry.Nanotime()-start, sampled, attrib)
 	}
 
 	// Invert the permutation on the fly: request i's result sits at the
@@ -317,25 +383,103 @@ func growTo[T any](s *[]T, n int) []T {
 
 // executeSingle answers one non-coalesced command. Returns true for QUIT.
 func (c *conn) executeSingle(cmd Command) (quit bool) {
+	// Sampling ticks on every unit; attribution additionally needs a
+	// store that can carry a Proc and a verb whose execution is one store
+	// call (the point commands). A sampled PING or RANGE still produces a
+	// trace record — wall time, batch size, queue wait — with zero step
+	// counts.
+	obs := c.srv.obs
+	var sampled, attrib bool
+	var start int64
+	if obs != nil {
+		sampled = obs.sampleNext()
+		attrib = sampled && c.srv.procStore != nil && cmd.Verb.batchable()
+		if attrib {
+			c.procStats.Reset()
+		}
+		start = telemetry.Nanotime()
+	}
 	switch cmd.Verb {
 	case VerbPing:
 		c.writeLine("+PONG")
 	case VerbSet:
-		c.writeBool(c.srv.store.Insert(cmd.Key, cmd.Value))
+		if attrib {
+			c.writeBool(c.srv.procStore.InsertProc(&c.proc, cmd.Key, cmd.Value))
+		} else {
+			c.writeBool(c.srv.store.Insert(cmd.Key, cmd.Value))
+		}
 	case VerbGet:
-		v, ok := c.srv.store.Get(cmd.Key)
+		var v string
+		var ok bool
+		if attrib {
+			v, ok = c.srv.procStore.GetProc(&c.proc, cmd.Key)
+		} else {
+			v, ok = c.srv.store.Get(cmd.Key)
+		}
 		c.writeValue(v, ok)
 	case VerbDel:
-		c.writeBool(c.srv.store.Delete(cmd.Key))
+		if attrib {
+			c.writeBool(c.srv.procStore.DeleteProc(&c.proc, cmd.Key))
+		} else {
+			c.writeBool(c.srv.store.Delete(cmd.Key))
+		}
 	case VerbLen:
 		c.writeInt(c.srv.store.Len())
 	case VerbRange:
 		c.executeRange(cmd.Key, cmd.Hi)
 	case VerbQuit:
 		c.writeLine("+OK")
-		return true
+		quit = true
 	}
-	return false
+	if obs != nil {
+		c.noteUnit(cmd.Verb, cmd.Key, 1, telemetry.Nanotime()-start, sampled, attrib)
+	}
+	return quit
+}
+
+// stampRun records the run's read-complete instant when observability is
+// attached; the stamp is the zero point of the run's command latencies.
+func (c *conn) stampRun(r *workRun) {
+	if c.srv.obs != nil {
+		r.enq = telemetry.Nanotime()
+	}
+}
+
+// noteUnit records one executed unit: its batch-size sample, its pending
+// latency record (completed after the flush), the slow-command counter,
+// and — when the unit is trace-sampled or slow — its trace record. attrib
+// marks units whose store call ran with the connection's Proc attached,
+// i.e. whose step counts in the trace are exact rather than zero.
+func (c *conn) noteUnit(v Verb, key, n int, elapsed int64, sampled, attrib bool) {
+	obs := c.srv.obs
+	obs.recordBatch(v, n)
+	c.pend = append(c.pend, pendUnit{verb: v, class: uint8(batchClass(n)), n: uint32(n)})
+	slow := elapsed >= obs.slowNanos
+	if slow {
+		c.srv.addCounter(instrument.CtrCmdsSlow, uint64(n))
+	}
+	if !sampled && !slow {
+		return
+	}
+	var stats *core.OpStats
+	if attrib {
+		stats = &c.procStats
+	}
+	obs.trace(v, key, n, elapsed, c.queueWait, sampled, slow, stats)
+}
+
+// finishObs completes the latency records of the just-flushed run: every
+// command in it shares the run's read-complete-to-write-flushed span.
+func (c *conn) finishObs(enq int64) {
+	obs := c.srv.obs
+	if obs == nil || len(c.pend) == 0 {
+		return
+	}
+	now := telemetry.Nanotime()
+	for _, p := range c.pend {
+		obs.recordLatency(p.verb, int(p.class), now-enq, uint64(p.n))
+	}
+	c.pend = c.pend[:0]
 }
 
 // executeRange collects [lo, hi) up to MaxRange pairs before writing

@@ -77,6 +77,33 @@ func (v Verb) batchable() bool {
 	return v == VerbSet || v == VerbGet || v == VerbDel
 }
 
+// NumVerbs is the size of the verb enumeration including VerbInvalid, for
+// indexing per-verb metric arrays.
+const NumVerbs = int(VerbQuit) + 1
+
+// verbLabels interns each verb's lower-case metric label, so hot-path
+// recording never formats a string.
+var verbLabels = [NumVerbs]string{
+	VerbInvalid: "invalid",
+	VerbPing:    "ping",
+	VerbSet:     "set",
+	VerbGet:     "get",
+	VerbDel:     "del",
+	VerbRange:   "range",
+	VerbLen:     "len",
+	VerbQuit:    "quit",
+}
+
+// Label returns the verb's lower-case label used by the observability
+// layer's metric and trace dimensions. The string is interned: calling
+// Label never allocates.
+func (v Verb) Label() string {
+	if int(v) < NumVerbs {
+		return verbLabels[v]
+	}
+	return "invalid"
+}
+
 // Command is one parsed request line.
 type Command struct {
 	Verb  Verb

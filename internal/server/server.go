@@ -30,6 +30,22 @@ type Store interface {
 	DeleteBatch(keys []int, deleted []bool) int
 }
 
+// ProcStore is the optional attribution capability of a Store: the same
+// operations with a per-process instrumentation context attached, so a
+// sampled request can report exactly which essential steps, CAS retries
+// and backoff waits it paid. The lockfree facade types (SkipList,
+// ShardedSkipList) implement it; the server detects it with a type
+// assertion at construction and falls back to unattributed traces when
+// the store lacks it.
+type ProcStore interface {
+	InsertProc(p *core.Proc, key int, value string) bool
+	GetProc(p *core.Proc, key int) (string, bool)
+	DeleteProc(p *core.Proc, key int) bool
+	InsertBatchProc(p *core.Proc, items []core.KV[int, string], inserted []bool) int
+	GetBatchProc(p *core.Proc, keys []int, vals []string, found []bool) int
+	DeleteBatchProc(p *core.Proc, keys []int, deleted []bool) int
+}
+
 // Config bounds a Server. The zero value is usable: every limit falls
 // back to the default documented on its field.
 type Config struct {
@@ -90,28 +106,35 @@ func (c Config) withDefaults() Config {
 // Server serves the line protocol over TCP. Construct with New; a Server
 // serves one Store and may not be reused after Shutdown.
 type Server struct {
-	cfg   Config
-	store Store
-	tel   *telemetry.Recorder // optional; nil disables counters
+	cfg       Config
+	store     Store
+	procStore ProcStore           // store's attribution capability; nil when absent
+	tel       *telemetry.Recorder // optional; nil disables counters
+	obs       *Obs                // optional; nil disables request observability
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
+	connGone *sync.Cond // broadcast when conns drains to empty
 	draining bool
 	done     bool
 
 	ready atomic.Bool
-	wg    sync.WaitGroup // one per live connection
 }
 
 // New returns a Server over store with the given config (zero fields get
 // defaults).
 func New(cfg Config, store Store) *Server {
-	return &Server{
+	s := &Server{
 		cfg:   cfg.withDefaults(),
 		store: store,
 		conns: make(map[*conn]struct{}),
 	}
+	s.connGone = sync.NewCond(&s.mu)
+	if ps, ok := store.(ProcStore); ok {
+		s.procStore = ps
+	}
+	return s
 }
 
 // SetTelemetry attaches rec to the server's connection and coalescing
@@ -119,6 +142,15 @@ func New(cfg Config, store Store) *Server {
 // Attach before Serve; nil (the default) disables them. The store's own
 // telemetry is attached separately, at store construction.
 func (s *Server) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
+
+// SetObs attaches request observability: per-verb latency histograms,
+// batch-size and queue-wait histograms, and the sampled trace ring.
+// Attach before Serve; nil (the default) disables the whole layer, whose
+// cost then is one nil-check branch per run and unit.
+func (s *Server) SetObs(o *Obs) { s.obs = o }
+
+// Obs returns the attached observability state, or nil.
+func (s *Server) Obs() *Obs { return s.obs }
 
 func (s *Server) addCounter(c instrument.Counter, n uint64) {
 	if s.tel != nil {
@@ -195,7 +227,6 @@ func (s *Server) accept(nc net.Conn) {
 	}
 	c := newConn(s, nc)
 	s.conns[c] = struct{}{}
-	s.wg.Add(1)
 	s.mu.Unlock()
 	s.addCounter(instrument.CtrConnAccepted, 1)
 	s.addGauge(instrument.CtrConnActive, 1)
@@ -216,7 +247,6 @@ func (s *Server) ServeConn(nc net.Conn) {
 	}
 	c := newConn(s, nc)
 	s.conns[c] = struct{}{}
-	s.wg.Add(1)
 	if s.draining {
 		// Shutdown already swept the connection set; this late arrival
 		// must drain itself or the drain would wait out its idle timeout.
@@ -228,13 +258,23 @@ func (s *Server) ServeConn(nc net.Conn) {
 	c.serve()
 }
 
-// remove unregisters a finished connection.
+// remove unregisters a finished connection. The connection set itself is
+// the liveness count Shutdown waits on — there is no separate WaitGroup
+// whose Add could race a Wait crossing zero when a late ServeConn arrives
+// mid-shutdown (a sync.WaitGroup reuse panic this design rules out). The
+// conn_active gauge moves +1 strictly before the serving goroutine that
+// performs the matching -1 exists, and remove runs exactly once per
+// connection, so the gauge can never be observed negative; the -1 lands
+// before the connection leaves the set, so once Shutdown's drain wait
+// releases, every finished connection's decrement is already visible.
 func (s *Server) remove(c *conn) {
+	s.addGauge(instrument.CtrConnActive, -1)
 	s.mu.Lock()
 	delete(s.conns, c)
+	if len(s.conns) == 0 {
+		s.connGone.Broadcast()
+	}
 	s.mu.Unlock()
-	s.addGauge(instrument.CtrConnActive, -1)
-	s.wg.Done()
 }
 
 // Addr returns the listen address, or "" before Serve binds one.
@@ -292,7 +332,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	drained := make(chan struct{})
 	go func() {
-		s.wg.Wait()
+		s.mu.Lock()
+		for len(s.conns) > 0 {
+			s.connGone.Wait()
+		}
+		s.mu.Unlock()
 		close(drained)
 	}()
 	var err error

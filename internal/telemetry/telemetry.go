@@ -229,16 +229,22 @@ func (r *Recorder) AddCounter(c instrument.Counter, n uint64) {
 }
 
 // AddGauge adjusts a gauge-class counter (instrument.Counter.Gauge) by
-// delta, which may be negative. A decrement is stored as the two's
-// complement, so an individual shard's cell can wrap; the shard sum —
-// what Snapshot reports — recovers the true level modulo 2^64, which is
-// exact as long as the gauge itself never goes negative. Exact, never
-// sampled, like AddCounter.
+// delta, which may be negative (stored as the two's complement). Unlike
+// monotonic counters, a gauge is pinned to one fixed cell rather than
+// striped: with increments and decrements landing on different shards, a
+// snapshot that sums the stripes can read the decrement's shard after
+// missing a newer increment and report a level that never existed —
+// including a negative one. A single cell makes every read a true
+// point-in-time level: as long as each decrement is program-ordered after
+// its matching increment (the serving layer's contract for conn_active),
+// no reader can ever observe the gauge negative. Gauge updates are rare
+// (connection open/close), so the lost striping costs nothing. Exact,
+// never sampled, like AddCounter.
 func (r *Recorder) AddGauge(c instrument.Counter, delta int64) {
 	if delta == 0 {
 		return
 	}
-	r.shards[shardIndex()&r.mask].counters[c].Add(uint64(delta))
+	r.shards[0].counters[c].Add(uint64(delta))
 }
 
 // OpToken carries per-operation state from StartOp to FinishOp. Tokens

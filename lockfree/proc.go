@@ -1,0 +1,80 @@
+package lockfree
+
+import "repro/internal/core"
+
+// Proc carries per-process instrumentation (step counters, adversary
+// hooks) through an operation; see repro/internal/instrument. The *Proc
+// variants below are the attribution seam of the serving layer's request
+// observability: a caller that wants exact per-operation step counts —
+// CAS attempts, backoff waits, finger hits — attaches a Proc whose Stats
+// the operation fills. The plain methods are equivalent to passing nil.
+//
+// A Proc is single-goroutine state: never share one Proc between
+// concurrent operations. On a ShardedSkipList, attaching a Proc to a
+// batch serializes that batch's shard fan-out (the sub-runs write into
+// the one Stats), so attribution costs parallelism for that call only —
+// the intended trade for sampled observability.
+type Proc = core.Proc
+
+// InsertProc is Insert with per-operation instrumentation attached.
+func (s *SkipList[K, V]) InsertProc(p *Proc, key K, value V) bool {
+	_, ok := s.l.Insert(p, key, value)
+	return ok
+}
+
+// GetProc is Get with per-operation instrumentation attached.
+func (s *SkipList[K, V]) GetProc(p *Proc, key K) (V, bool) { return s.l.Get(p, key) }
+
+// DeleteProc is Delete with per-operation instrumentation attached.
+func (s *SkipList[K, V]) DeleteProc(p *Proc, key K) bool {
+	_, ok := s.l.Delete(p, key)
+	return ok
+}
+
+// InsertBatchProc is InsertBatch with per-batch instrumentation attached.
+func (s *SkipList[K, V]) InsertBatchProc(p *Proc, items []KV[K, V], inserted []bool) int {
+	return s.l.InsertBatch(p, items, inserted)
+}
+
+// GetBatchProc is GetBatch with per-batch instrumentation attached.
+func (s *SkipList[K, V]) GetBatchProc(p *Proc, keys []K, vals []V, found []bool) int {
+	return s.l.GetBatch(p, keys, vals, found)
+}
+
+// DeleteBatchProc is DeleteBatch with per-batch instrumentation attached.
+func (s *SkipList[K, V]) DeleteBatchProc(p *Proc, keys []K, deleted []bool) int {
+	return s.l.DeleteBatch(p, keys, deleted)
+}
+
+// InsertProc is Insert with per-operation instrumentation attached.
+func (s *ShardedSkipList[K, V]) InsertProc(p *Proc, key K, value V) bool {
+	_, ok := s.m.Insert(p, key, value)
+	return ok
+}
+
+// GetProc is Get with per-operation instrumentation attached.
+func (s *ShardedSkipList[K, V]) GetProc(p *Proc, key K) (V, bool) { return s.m.Get(p, key) }
+
+// DeleteProc is Delete with per-operation instrumentation attached.
+func (s *ShardedSkipList[K, V]) DeleteProc(p *Proc, key K) bool {
+	_, ok := s.m.Delete(p, key)
+	return ok
+}
+
+// InsertBatchProc is InsertBatch with per-batch instrumentation attached;
+// the shard fan-out of this call runs serially (see Proc).
+func (s *ShardedSkipList[K, V]) InsertBatchProc(p *Proc, items []KV[K, V], inserted []bool) int {
+	return s.m.InsertBatch(p, items, inserted)
+}
+
+// GetBatchProc is GetBatch with per-batch instrumentation attached; the
+// shard fan-out of this call runs serially (see Proc).
+func (s *ShardedSkipList[K, V]) GetBatchProc(p *Proc, keys []K, vals []V, found []bool) int {
+	return s.m.GetBatch(p, keys, vals, found)
+}
+
+// DeleteBatchProc is DeleteBatch with per-batch instrumentation attached;
+// the shard fan-out of this call runs serially (see Proc).
+func (s *ShardedSkipList[K, V]) DeleteBatchProc(p *Proc, keys []K, deleted []bool) int {
+	return s.m.DeleteBatch(p, keys, deleted)
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// A Collector contributes extra series to the package-level Prometheus
+// Handler: it writes text exposition format to w and returns the first
+// write error. The structure-level metrics render first, then every
+// registered collector in name order. Collectors let layers above the
+// structures — the serving layer's per-verb latency histograms, the
+// runtime-metrics bridge — share the one /metrics endpoint without this
+// package knowing about them.
+type Collector func(w io.Writer) error
+
+var (
+	collectorMu sync.Mutex
+	collectors  = map[string]Collector{}
+)
+
+// RegisterCollector adds c to the package-level Handler's output under
+// name; a collector already registered under name is replaced (tools that
+// rebuild their observability per run re-register freely). The collector
+// must be safe for concurrent use — scrapes can overlap.
+func RegisterCollector(name string, c Collector) {
+	if name == "" || c == nil {
+		panic("telemetry: collector needs a name and a function")
+	}
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	collectors[name] = c
+}
+
+// UnregisterCollector removes the named collector; unknown names are
+// ignored.
+func UnregisterCollector(name string) {
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	delete(collectors, name)
+}
+
+// writeCollectors renders every registered collector in name order.
+func writeCollectors(w io.Writer) error {
+	collectorMu.Lock()
+	names := make([]string, 0, len(collectors))
+	for n := range collectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cs := make([]Collector, len(names))
+	for i, n := range names {
+		cs[i] = collectors[n]
+	}
+	collectorMu.Unlock()
+	for _, c := range cs {
+		if err := c(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

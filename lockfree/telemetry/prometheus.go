@@ -51,6 +51,7 @@ var counterHelp = [itel.NumCounters]string{
 	"Network connections currently open (accepted minus closed).",
 	"Total connections shed at accept time by the connection cap.",
 	"Total pipelined commands absorbed into coalesced batch calls by the serving layer.",
+	"Total commands whose store execution crossed the serving layer's slow-trace threshold.",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given
@@ -162,11 +163,19 @@ func (e *errWriter) printf(format string, args ...any) {
 }
 
 // Handler returns an http.Handler serving the Prometheus text exposition
-// of every registered Telemetry instance. Mount it wherever the deployment
+// of every registered Telemetry instance, followed by every registered
+// Collector (see RegisterCollector). Mount it wherever the deployment
 // scrapes, e.g. http.Handle("/metrics", telemetry.Handler()).
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		serveMetrics(w, registered()...)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w, registered()...); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := writeCollectors(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 }
 

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics bridge: a Collector exporting the Go runtime
+// signals that explain serving-path tail latency the structures' own
+// counters cannot — GC pause and scheduler-latency distributions, heap
+// levels, goroutine count. A p999 spike with flat CAS retries and a fat
+// /gc/pauses tail is a GC problem, not a contention problem; exporting
+// both through one endpoint makes that attribution a single scrape.
+
+// runtimeMetric maps one runtime/metrics sample to its Prometheus
+// rendering.
+type runtimeMetric struct {
+	source string // runtime/metrics name
+	name   string // exported Prometheus name
+	help   string
+	typ    string // "gauge", "counter", or "histogram"
+}
+
+var runtimeMetricSet = []runtimeMetric{
+	{"/gc/pauses:seconds", "go_gc_pauses_seconds", "Distribution of stop-the-world GC pause latencies.", "histogram"},
+	{"/sched/latencies:seconds", "go_sched_latencies_seconds", "Distribution of goroutine scheduling (runnable to running) latencies.", "histogram"},
+	{"/sched/goroutines:goroutines", "go_goroutines", "Count of live goroutines.", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "go_memory_heap_objects_bytes", "Bytes occupied by live objects and dead objects not yet swept.", "gauge"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime.", "gauge"},
+	{"/gc/heap/allocs:bytes", "go_gc_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.", "counter"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles.", "counter"},
+}
+
+// WriteRuntimeMetrics renders the bridged runtime/metrics set in
+// Prometheus text exposition format. Runtime histograms render their
+// native bucket boundaries as cumulative le buckets (sparsely: only
+// boundaries where the cumulative count moves, plus +Inf) with a _count
+// series; the runtime does not publish a sum, so histograms carry no _sum.
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeMetricSet))
+	for i, m := range runtimeMetricSet {
+		samples[i].Name = m.source
+	}
+	metrics.Read(samples)
+
+	ew := &errWriter{w: w}
+	for i, m := range runtimeMetricSet {
+		v := samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			ew.printf("# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+				m.name, m.help, m.name, m.typ, m.name, v.Uint64())
+		case metrics.KindFloat64:
+			ew.printf("# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+				m.name, m.help, m.name, m.typ, m.name, formatFloat(v.Float64()))
+		case metrics.KindFloat64Histogram:
+			writeRuntimeHistogram(ew, m, v.Float64Histogram())
+		default:
+			// KindBad: the metric does not exist in this runtime version;
+			// skip it rather than fail the scrape.
+		}
+	}
+	return ew.err
+}
+
+// writeRuntimeHistogram renders one runtime histogram. Counts[i] counts
+// observations in [Buckets[i], Buckets[i+1]); the le value of that cell
+// is its exclusive upper boundary, which Prometheus treats as inclusive —
+// an error no larger than the runtime's own bucket resolution.
+func writeRuntimeHistogram(w *errWriter, m runtimeMetric, h *metrics.Float64Histogram) {
+	w.printf("# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c == 0 {
+			continue // sparse: emit only boundaries where the count moves
+		}
+		le := h.Buckets[i+1]
+		if math.IsInf(le, 1) {
+			continue // folded into the +Inf sample below
+		}
+		w.printf("%s_bucket{le=%q} %d\n", m.name, formatFloat(le), cum)
+	}
+	w.printf("%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+	w.printf("%s_count %d\n", m.name, cum)
+}
+
+// RegisterRuntimeCollector registers the runtime/metrics bridge on the
+// package-level Handler under the name "runtime", so one /metrics scrape
+// serves structure metrics, serving-layer collectors, and runtime
+// signals together. Idempotent.
+func RegisterRuntimeCollector() {
+	RegisterCollector("runtime", WriteRuntimeMetrics)
+}

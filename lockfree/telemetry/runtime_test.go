@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	runtime.GC() // ensure at least one GC cycle and pause sample exists
+	var buf bytes.Buffer
+	if err := WriteRuntimeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"go_goroutines", "go_memory_heap_objects_bytes", "go_memory_total_bytes",
+		"go_gc_heap_allocs_bytes_total", "go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+	// Histograms: +Inf bucket present and equal to _count.
+	for _, name := range []string{"go_gc_pauses_seconds", "go_sched_latencies_seconds"} {
+		infLine, countLine := "", ""
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, name+`_bucket{le="+Inf"}`) {
+				infLine = line
+			}
+			if strings.HasPrefix(line, name+"_count ") {
+				countLine = line
+			}
+		}
+		if infLine == "" || countLine == "" {
+			t.Fatalf("%s missing +Inf or _count:\n%s", name, out)
+		}
+		inf := infLine[strings.LastIndexByte(infLine, ' ')+1:]
+		count := countLine[strings.LastIndexByte(countLine, ' ')+1:]
+		if inf != count {
+			t.Fatalf("%s +Inf %s != count %s", name, inf, count)
+		}
+	}
+	// Bucket series must be cumulative.
+	prev := uint64(0)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "go_gc_pauses_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("non-cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestCollectorRegistry(t *testing.T) {
+	RegisterCollector("test-collector", func(w io.Writer) error {
+		_, err := w.Write([]byte("test_collector_metric 42\n"))
+		return err
+	})
+	t.Cleanup(func() { UnregisterCollector("test-collector") })
+
+	rr := httptest.NewRecorder()
+	Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	if !strings.Contains(body, "test_collector_metric 42") {
+		t.Fatalf("collector output missing:\n%s", body)
+	}
+	// Runtime bridge rides the same registry.
+	RegisterRuntimeCollector()
+	t.Cleanup(func() { UnregisterCollector("runtime") })
+	rr = httptest.NewRecorder()
+	Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "go_goroutines") {
+		t.Fatalf("runtime collector missing:\n%s", rr.Body.String())
+	}
+
+	UnregisterCollector("test-collector")
+	rr = httptest.NewRecorder()
+	Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rr.Body.String(), "test_collector_metric") {
+		t.Fatal("unregistered collector still rendering")
+	}
+
+	mustPanic(t, func() { RegisterCollector("", WriteRuntimeMetrics) })
+	mustPanic(t, func() { RegisterCollector("nil-fn", nil) })
+}

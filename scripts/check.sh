@@ -9,7 +9,10 @@
 #   5. a short lflstress -server smoke run: an in-process TCP server per
 #      round, pipelined mixed workloads, linearizability-checked, with
 #      the graceful drain asserted at each round's end,
-#   6. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
+#   6. an observability smoke: a real lflserver with its admin listener
+#      up, the /metrics, /debug/trace, and /debug/pprof surfaces curled
+#      and sanity-checked, then a clean SIGTERM drain,
+#   7. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
 #      base — off by default because microbenchmarks need a quiet machine
 #      to be meaningful.
 #
@@ -43,6 +46,13 @@ echo "== race: serving layer at GOMAXPROCS=2 and GOMAXPROCS=8 =="
 GOMAXPROCS=2 go test -race -count=1 ./internal/server
 GOMAXPROCS=8 go test -race -count=1 ./internal/server
 
+# The instrument package's histograms and trace ring are written lock-free
+# from every serving goroutine at once: race them at both core counts so
+# the single-writer-ticket and torn-read-detection paths are both covered.
+echo "== race: instrument at GOMAXPROCS=2 and GOMAXPROCS=8 =="
+GOMAXPROCS=2 go test -race -count=1 ./internal/instrument
+GOMAXPROCS=8 go test -race -count=1 ./internal/instrument
+
 # End-to-end serving smoke: lflstress in -server self mode starts a real
 # TCP server per round, drives it with pipelined mixed workloads over
 # several connections, checks every history for linearizability, and
@@ -50,6 +60,52 @@ GOMAXPROCS=8 go test -race -count=1 ./internal/server
 # wall clock, bounded by the small op counts.
 echo "== lflstress -server self smoke =="
 go run ./cmd/lflstress -server self -threads 6 -ops 500 -keys 64 -rounds 4 -batch 8
+
+# Observability smoke: a real lflserver with its admin listener and pprof
+# enabled, every debug surface curled and sanity-checked, then a SIGTERM
+# drain. Asserts the admin mux serves well-formed output end to end — the
+# per-verb histograms on /metrics, sampled traces on /debug/trace, and the
+# profiling surface — not just that the handlers exist.
+echo "== lflserver observability smoke =="
+obs_log=$(mktemp)
+obs_out=$(mktemp)
+go build -o "$obs_out.bin" ./cmd/lflserver
+"$obs_out.bin" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 -pprof -trace-sample 1 >"$obs_log" 2>&1 &
+obs_pid=$!
+trap 'kill "$obs_pid" 2>/dev/null || true; rm -f "$obs_log" "$obs_out" "$obs_out.bin"' EXIT
+admin=""
+for _ in $(seq 1 100); do
+    admin=$(sed -n 's|^lflserver: admin endpoints on http://||p' "$obs_log")
+    [ -n "$admin" ] && break
+    kill -0 "$obs_pid" 2>/dev/null || { cat "$obs_log"; echo "obs-smoke: server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$admin" ] || { cat "$obs_log"; echo "obs-smoke: admin address never appeared"; exit 1; }
+addr=$(sed -n 's|^lflserver: serving .* on \([0-9.:]*\) .*$|\1|p' "$obs_log")
+[ -n "$addr" ] || { cat "$obs_log"; echo "obs-smoke: protocol address never appeared"; exit 1; }
+# Put traffic on the wire so the histograms and trace ring have content
+# (curl's telnet mode is a raw TCP client: stdin to socket, socket to
+# stdout).
+replies=$(printf 'SET 1 a\nSET 2 b\nGET 1\nGET 3\nDEL 2\nPING\nQUIT\n' \
+    | curl -s --max-time 10 "telnet://$addr")
+echo "$replies" | grep -q '+PONG' \
+    || { echo "obs-smoke: no +PONG from the protocol listener"; exit 1; }
+metrics=$(curl -sf "http://$admin/metrics")
+echo "$metrics" | grep -q 'lockfree_server_cmd_latency_seconds_bucket{.*le="+Inf"' \
+    || { echo "obs-smoke: /metrics missing per-verb latency histogram"; exit 1; }
+echo "$metrics" | grep -q '^go_goroutines ' \
+    || { echo "obs-smoke: /metrics missing runtime bridge"; exit 1; }
+trace=$(curl -sf "http://$admin/debug/trace")
+echo "$trace" | grep -q '"records"' \
+    || { echo "obs-smoke: /debug/trace not well-formed: $trace"; exit 1; }
+curl -sf "http://$admin/debug/pprof/goroutine?debug=1" | grep -q 'goroutine' \
+    || { echo "obs-smoke: /debug/pprof/goroutine empty"; exit 1; }
+kill -TERM "$obs_pid"
+wait "$obs_pid" || { cat "$obs_log"; echo "obs-smoke: drain failed"; exit 1; }
+grep -q 'drained cleanly' "$obs_log" || { cat "$obs_log"; echo "obs-smoke: no clean drain"; exit 1; }
+trap - EXIT
+rm -f "$obs_log" "$obs_out" "$obs_out.bin"
+echo "obs-smoke: /metrics, /debug/trace, /debug/pprof all healthy"
 
 if [ "${BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff: perf gate =="
