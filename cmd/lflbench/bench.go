@@ -66,10 +66,14 @@ type benchRow struct {
 	// judged against.
 	Workload string `json:"workload"`
 	Batch    int    `json:"batch"`
+	// Recycle is true on the churn rows that run with EBR-backed node
+	// recycling enabled; the matching recycle=false row is the control the
+	// allocs_per_op drop is judged against.
+	Recycle bool `json:"recycle"`
 	// SampleEvery is the telemetry sampling period the row ran under: 1
 	// (exact recording) for the uniform rows, clusterSampleEvery for the
-	// clustered ones, where exact recording's flat per-op cost would bury
-	// the amortization being measured.
+	// clustered and churn ones, where exact recording's flat per-op cost
+	// would bury the amortization being measured.
 	SampleEvery         int     `json:"sample_every"`
 	Ops                 int     `json:"ops"`
 	OpsPerSec           float64 `json:"ops_per_sec"`
@@ -103,6 +107,10 @@ type benchDict interface {
 	insertBatch(items []core.KV[int, int]) int
 	removeBatch(keys []int) int
 	containsBatch(keys []int) int
+	// reclaim forces the reclamation domain through enough epochs to drain
+	// every quiesced retire batch; the churn rows use it to stock the free
+	// lists before the measured window opens.
+	reclaim()
 }
 
 type benchList struct{ l *core.List[int, int] }
@@ -116,6 +124,11 @@ func (d benchList) insertBatch(items []core.KV[int, int]) int {
 }
 func (d benchList) removeBatch(keys []int) int   { return d.l.DeleteBatch(nil, keys, nil) }
 func (d benchList) containsBatch(keys []int) int { return d.l.GetBatch(nil, keys, nil, nil) }
+func (d benchList) reclaim() {
+	for i := 0; i < 6; i++ {
+		d.l.ForceReclaim(nil)
+	}
+}
 
 type benchSkip struct{ l *core.SkipList[int, int] }
 
@@ -128,6 +141,11 @@ func (d benchSkip) insertBatch(items []core.KV[int, int]) int {
 }
 func (d benchSkip) removeBatch(keys []int) int   { return d.l.DeleteBatch(nil, keys, nil) }
 func (d benchSkip) containsBatch(keys []int) int { return d.l.GetBatch(nil, keys, nil, nil) }
+func (d benchSkip) reclaim() {
+	for i := 0; i < 6; i++ {
+		d.l.ForceReclaim(nil)
+	}
+}
 
 type benchSharded struct{ m *sharded.Map[int, int] }
 
@@ -140,19 +158,37 @@ func (d benchSharded) insertBatch(items []core.KV[int, int]) int {
 }
 func (d benchSharded) removeBatch(keys []int) int   { return d.m.DeleteBatch(nil, keys, nil) }
 func (d benchSharded) containsBatch(keys []int) int { return d.m.GetBatch(nil, keys, nil, nil) }
+func (d benchSharded) reclaim() {
+	for s := 0; s < d.m.Shards(); s++ {
+		for i := 0; i < 6; i++ {
+			d.m.Shard(s).ForceReclaim(nil)
+		}
+	}
+}
 
 func newBenchDict(cfg benchConfig, tel *ltel.Telemetry) benchDict {
 	switch cfg.impl {
 	case "fr-list":
 		l := core.NewList[int, int]()
+		if cfg.recycle {
+			l.EnableRecycling()
+		}
 		l.SetTelemetry(tel.Recorder())
 		return benchList{l}
 	case "fr-skiplist":
-		l := core.NewSkipList[int, int]()
+		var opts []core.SkipListOption
+		if cfg.recycle {
+			opts = append(opts, core.WithRecycling())
+		}
+		l := core.NewSkipList[int, int](opts...)
 		l.SetTelemetry(tel.Recorder())
 		return benchSkip{l}
 	case "fr-sharded":
-		m := sharded.New[int, int](lockfree.EqualSplitters(0, cfg.keyRange, cfg.shards))
+		var opts []core.SkipListOption
+		if cfg.recycle {
+			opts = append(opts, core.WithRecycling())
+		}
+		m := sharded.New[int, int](lockfree.EqualSplitters(0, cfg.keyRange, cfg.shards), opts...)
 		m.SetTelemetry(tel.Recorder())
 		return benchSharded{m}
 	default:
@@ -167,8 +203,17 @@ const (
 	clusterOps    = 64
 	clusterWindow = 256
 	// clusterSampleEvery is the telemetry sampling period of the clustered
-	// rows (the uniform rows record exactly, period 1).
+	// and churn rows (the uniform rows record exactly, period 1).
 	clusterSampleEvery = 32
+	// churnSpan is the per-thread key span of the churn rows: thread t
+	// cycles insert(k); delete(k) over [t*churnSpan, (t+1)*churnSpan), so
+	// every insert (re)builds a node and every delete retires one — the
+	// workload EBR-backed recycling exists for.
+	churnSpan = 32
+	// churnWarmupOps per thread run before a churn row's measured window
+	// opens, so the retire→drain→free-list pipeline reaches steady state
+	// (allocs_per_op then measures recycling, not pipeline fill).
+	churnWarmupOps = 4096
 )
 
 // benchConfig is one measured row.
@@ -180,9 +225,16 @@ type benchConfig struct {
 	ops       int
 	clustered bool
 	batch     int // 0 = per-key; else the batch length (clustered only)
+	// churn selects the insert-after-delete workload; recycle is its
+	// on/off pair knob (EBR-backed node recycling).
+	churn   bool
+	recycle bool
 }
 
 func (c benchConfig) workload() string {
+	if c.churn {
+		return "churn"
+	}
 	if c.clustered {
 		return "clustered"
 	}
@@ -193,14 +245,20 @@ func (c benchConfig) workload() string {
 // j%10 switch implements it.
 var clusteredMix = workload.Mix{SearchPct: 80, InsertPct: 10, DeletePct: 10}
 
+// churnMix is the op mix of the churn rows: pure insert-after-delete.
+var churnMix = workload.Mix{InsertPct: 50, DeletePct: 50}
+
 func (c benchConfig) sampleEvery() int {
-	if c.clustered {
+	if c.clustered || c.churn {
 		return clusterSampleEvery
 	}
 	return 1
 }
 
 func (c benchConfig) mix() workload.Mix {
+	if c.churn {
+		return churnMix
+	}
 	if c.clustered {
 		return clusteredMix
 	}
@@ -250,6 +308,19 @@ func runBenchJSON(path string, quick bool) (string, error) {
 				})
 			}
 		}
+		// The churn pairs: insert-after-delete over a small per-thread key
+		// span, once allocating every node (the control) and once with
+		// EBR-backed recycling — the allocs_per_op pair is the headline
+		// number of the recycling work (§2.1): at steady state the recycle
+		// row's inserts are served from the free lists.
+		for _, th := range threads {
+			for _, recycle := range []bool{false, true} {
+				cfgs = append(cfgs, benchConfig{
+					impl: impl, threads: th, keyRange: th * churnSpan,
+					ops: implOps, churn: true, recycle: recycle,
+				})
+			}
+		}
 	}
 
 	// The sharded sweep: the range-partitioned map over 1 (the routing-
@@ -284,8 +355,8 @@ func runBenchJSON(path string, quick bool) (string, error) {
 			out.OpenLoop = prev.OpenLoop // keep the -openloop stage's section
 		}
 	}
-	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered, ops=%d) ==\n",
-		workload.Balanced, clusteredMix, ops)
+	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered / %s churn, ops=%d) ==\n",
+		workload.Balanced, clusteredMix, churnMix, ops)
 	text += fmt.Sprintf("%-12s %-10s %6s %6s %8s %10s %14s %10s %10s %12s %12s\n",
 		"impl", "workload", "shards", "batch", "threads", "Mops/s", "ess.steps/op", "allocs/op", "B/op", "get p50", "get p99")
 	for _, cfg := range cfgs {
@@ -294,9 +365,16 @@ func runBenchJSON(path string, quick bool) (string, error) {
 			return "", err
 		}
 		out.Benchmarks = append(out.Benchmarks, row)
-		g := row.Latency["get"]
+		// The churn rows have no reads; show the insert quantiles there.
+		g, wl := row.Latency["get"], row.Workload
+		if row.Workload == "churn" {
+			g = row.Latency["insert"]
+			if row.Recycle {
+				wl += "+rec"
+			}
+		}
 		text += fmt.Sprintf("%-12s %-10s %6d %6d %8d %10.3f %14.1f %10.3f %10.1f %12s %12s\n",
-			row.Impl, row.Workload, row.Shards, row.Batch, row.Threads, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
+			row.Impl, wl, row.Shards, row.Batch, row.Threads, row.OpsPerSec/1e6, row.EssentialStepsPerOp,
 			row.AllocsPerOp, row.BytesPerOp,
 			time.Duration(g.P50NS), time.Duration(g.P99NS))
 	}
@@ -322,8 +400,20 @@ func benchOne(cfg benchConfig) (benchRow, error) {
 	}
 	defer tel.Unregister()
 	d := newBenchDict(cfg, tel)
-	for _, k := range workload.Prefill(cfg.keyRange) {
-		d.insert(k)
+	if cfg.churn {
+		// Warm up the retire→drain→free-list pipeline so the measured
+		// window sees steady state: with recycling on, the free lists are
+		// stocked and inserts stop allocating; with it off, this is just
+		// extra churn on the same keys.
+		warm := min(churnWarmupOps, cfg.ops/2)
+		for t := 0; t < cfg.threads; t++ {
+			runChurnThread(d, t, warm)
+		}
+		d.reclaim()
+	} else {
+		for _, k := range workload.Prefill(cfg.keyRange) {
+			d.insert(k)
+		}
 	}
 	tel.Delta() // reset the delta baseline: exclude prefill from the measured window
 
@@ -332,6 +422,14 @@ func benchOne(cfg benchConfig) (benchRow, error) {
 	var wg sync.WaitGroup
 	for t := 0; t < cfg.threads; t++ {
 		wg.Add(1)
+		if cfg.churn {
+			go func(t int) {
+				defer wg.Done()
+				<-start
+				runChurnThread(d, t, perThread)
+			}(t)
+			continue
+		}
 		if cfg.clustered {
 			go func(t int) {
 				defer wg.Done()
@@ -379,6 +477,7 @@ func benchOne(cfg benchConfig) (benchRow, error) {
 		KeyRange:            cfg.keyRange,
 		Workload:            cfg.workload(),
 		Batch:               cfg.batch,
+		Recycle:             cfg.recycle,
 		SampleEvery:         cfg.sampleEvery(),
 		Ops:                 perThread * cfg.threads,
 		OpsPerSec:           float64(perThread*cfg.threads) / elapsed.Seconds(),
@@ -406,6 +505,26 @@ func benchOne(cfg benchConfig) (benchRow, error) {
 		row.Latency[op.String()] = l
 	}
 	return row, nil
+}
+
+// runChurnThread drives one worker of a churn row: thread t owns the
+// disjoint key span [t*churnSpan, (t+1)*churnSpan) and cycles through
+// inserting the whole span then deleting it, so every insert constructs a
+// node (or tower), every delete retires one, and the structure keeps a
+// live population for the traversals to walk. Disjoint spans keep the
+// churn free of cross-thread key conflicts: the measured contention is on
+// the structure fabric and the reclamation machinery, which is what the
+// recycle on/off pair isolates.
+func runChurnThread(d benchDict, t, perThread int) {
+	base := t * churnSpan
+	for i := 0; i < perThread; i++ {
+		j := i % (2 * churnSpan)
+		if j < churnSpan {
+			d.insert(base + j)
+		} else {
+			d.remove(base + j - churnSpan)
+		}
+	}
 }
 
 // runClusteredThread drives one worker of a clustered row: sorted runs of

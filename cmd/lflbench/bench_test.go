@@ -34,12 +34,21 @@ func TestBenchJSONOutput(t *testing.T) {
 		t.Fatalf("schema = %q", out.Schema)
 	}
 	// quick mode: 2 unsharded impls x 2 thread counts, uniform plus the
-	// clustered per-key/batch pair (2*2 + 2*2*2), then the sharded sweep
-	// (2 shard counts x 2 thread counts x per-key/batch): 12 + 8 rows.
-	if len(out.Benchmarks) != 20 {
-		t.Fatalf("rows = %d, want 20", len(out.Benchmarks))
+	// clustered per-key/batch pair and the churn recycle-off/on pair
+	// (2*2 + 2*2*2 + 2*2*2), then the sharded sweep (2 shard counts x
+	// 2 thread counts x per-key/batch): 20 + 8 rows.
+	if len(out.Benchmarks) != 28 {
+		t.Fatalf("rows = %d, want 28", len(out.Benchmarks))
 	}
 	batchRows, shardedRows := 0, 0
+	// churnPair indexes the churn rows by impl/threads so the recycle row
+	// can be judged against its control.
+	type churnKey struct {
+		impl    string
+		threads int
+	}
+	churnOff := map[churnKey]benchRow{}
+	churnOn := map[churnKey]benchRow{}
 	for _, row := range out.Benchmarks {
 		if row.Impl == "fr-sharded" {
 			shardedRows++
@@ -57,6 +66,22 @@ func TestBenchJSONOutput(t *testing.T) {
 		}
 		switch row.Workload {
 		case "uniform", "clustered":
+			if row.Recycle {
+				t.Fatalf("%s/%d: recycle row with workload %q", row.Impl, row.Threads, row.Workload)
+			}
+		case "churn":
+			k := churnKey{row.Impl, row.Threads}
+			if row.Recycle {
+				churnOn[k] = row
+				// The recycle row must show the machinery live: nodes went
+				// through retire lists onto free lists, and inserts hit them.
+				if row.Counters["nodes_recycled"] == 0 || row.Counters["freelist_hits"] == 0 {
+					t.Fatalf("%s/%d churn+rec: recycling counters dead: %v",
+						row.Impl, row.Threads, row.Counters)
+				}
+			} else {
+				churnOff[k] = row
+			}
 		default:
 			t.Fatalf("%s/%d: workload = %q", row.Impl, row.Threads, row.Workload)
 		}
@@ -85,9 +110,14 @@ func TestBenchJSONOutput(t *testing.T) {
 		if row.Counters["cas_attempts"] == 0 || row.Counters["curr_updates"] == 0 {
 			t.Fatalf("%s/%d: counters missing: %v", row.Impl, row.Threads, row.Counters)
 		}
-		get, ok := row.Latency["get"]
+		// Churn rows have no reads; their live quantile is insert's.
+		latOp := "get"
+		if row.Workload == "churn" {
+			latOp = "insert"
+		}
+		get, ok := row.Latency[latOp]
 		if !ok || get.Count == 0 {
-			t.Fatalf("%s/%d: no get latency: %v", row.Impl, row.Threads, row.Latency)
+			t.Fatalf("%s/%d: no %s latency: %v", row.Impl, row.Threads, latOp, row.Latency)
 		}
 		// Quantiles must be ordered and live whether the row recorded
 		// exactly (uniform, period 1) or sampled (clustered rows).
@@ -100,6 +130,22 @@ func TestBenchJSONOutput(t *testing.T) {
 	}
 	if shardedRows != 8 {
 		t.Fatalf("sharded rows = %d, want 8", shardedRows)
+	}
+	// Every churn row pairs off, and recycling cuts allocations: at steady
+	// state the recycle row's inserts come from the free lists, so its
+	// allocs/op must sit strictly below the allocate-every-node control.
+	if len(churnOff) != 4 || len(churnOn) != 4 {
+		t.Fatalf("churn pairs: %d off / %d on rows, want 4 / 4", len(churnOff), len(churnOn))
+	}
+	for k, off := range churnOff {
+		on, ok := churnOn[k]
+		if !ok {
+			t.Fatalf("%s/%d: churn control has no recycle row", k.impl, k.threads)
+		}
+		if on.AllocsPerOp >= off.AllocsPerOp {
+			t.Fatalf("%s/%d churn: recycling did not cut allocs/op (%.3f with vs %.3f without)",
+				k.impl, k.threads, on.AllocsPerOp, off.AllocsPerOp)
+		}
 	}
 }
 

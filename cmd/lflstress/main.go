@@ -166,12 +166,57 @@ func (d noflagList) remove(k int) bool { _, ok := d.l.Delete(nil, k); return ok 
 func (d noflagList) search(k int) bool { return d.l.Search(nil, k) != nil }
 func (d noflagList) validate() error   { return nil }
 
+// recycleChecked is the optional interface of implementations that can
+// run with EBR-backed node recycling: the -recycle rounds drain their
+// domains at round end and report how many node identities were reused —
+// the histories the checker just validated really did contain repeats.
+type recycleChecked interface {
+	forceReclaim()
+	recycleCounts() (recycled, dropped uint64)
+}
+
+func (d frList) forceReclaim() {
+	for i := 0; i < 6; i++ {
+		d.l.ForceReclaim(nil)
+	}
+}
+func (d frList) recycleCounts() (uint64, uint64) { return d.l.RecycleCounts() }
+
+func (d frSkip) forceReclaim() {
+	for i := 0; i < 6; i++ {
+		d.l.ForceReclaim(nil)
+	}
+}
+func (d frSkip) recycleCounts() (uint64, uint64) { return d.l.RecycleCounts() }
+
+func (d frSharded) forceReclaim() {
+	for i := 0; i < 6; i++ {
+		for s := 0; s < d.m.Shards(); s++ {
+			d.m.Shard(s).ForceReclaim(nil)
+		}
+	}
+}
+
+func (d frSharded) recycleCounts() (recycled, dropped uint64) {
+	for s := 0; s < d.m.Shards(); s++ {
+		r, dr := d.m.Shard(s).RecycleCounts()
+		recycled += r
+		dropped += dr
+	}
+	return recycled, dropped
+}
+
 // newChecked builds the implementation under test. The primary structures
 // accept an optional telemetry instance (nil for none); the baselines have
 // no telemetry seam, so the flag only affects fr-list and fr-skiplist.
 // shards > 0 runs fr-skiplist behind the range-sharded map, splitting the
 // key space [0, keyRange) evenly across that many skip-list shards.
-func newChecked(impl string, shards, keyRange int, tel *ltel.Telemetry) (checked, error) {
+// recycle enables EBR-backed node recycling on the fr-* structures, so the
+// linearizability check runs over histories where node identities repeat.
+func newChecked(impl string, shards, keyRange int, recycle bool, tel *ltel.Telemetry) (checked, error) {
+	if recycle && impl != "fr-list" && impl != "fr-skiplist" {
+		return nil, fmt.Errorf("-recycle applies only to fr-list and fr-skiplist, not %q", impl)
+	}
 	if shards > 0 {
 		if impl != "fr-skiplist" {
 			return nil, fmt.Errorf("-shards applies only to fr-skiplist, not %q", impl)
@@ -179,7 +224,11 @@ func newChecked(impl string, shards, keyRange int, tel *ltel.Telemetry) (checked
 		if shards&(shards-1) != 0 {
 			return nil, fmt.Errorf("-shards %d: shard count must be a power of two", shards)
 		}
-		m := sharded.New[int, int](lockfree.EqualSplitters(0, keyRange, shards))
+		var coreOpts []core.SkipListOption
+		if recycle {
+			coreOpts = append(coreOpts, core.WithRecycling())
+		}
+		m := sharded.New[int, int](lockfree.EqualSplitters(0, keyRange, shards), coreOpts...)
 		if tel != nil {
 			m.SetTelemetry(tel.Recorder())
 		}
@@ -188,12 +237,19 @@ func newChecked(impl string, shards, keyRange int, tel *ltel.Telemetry) (checked
 	switch impl {
 	case "fr-list":
 		l := core.NewList[int, int]()
+		if recycle {
+			l.EnableRecycling()
+		}
 		if tel != nil {
 			l.SetTelemetry(tel.Recorder())
 		}
 		return frList{l}, nil
 	case "fr-skiplist":
-		l := core.NewSkipList[int, int]()
+		var coreOpts []core.SkipListOption
+		if recycle {
+			coreOpts = append(coreOpts, core.WithRecycling())
+		}
+		l := core.NewSkipList[int, int](coreOpts...)
 		if tel != nil {
 			l.SetTelemetry(tel.Recorder())
 		}
@@ -223,6 +279,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "base random seed")
 	batch := fs.Int("batch", 0, "issue operations as sorted N-key batches through the finger-threaded batch API (fr-list/fr-skiplist only); every element is still history-checked, so raise -keys to keep per-key segments under the checker limit")
 	shards := fs.Int("shards", 0, "run fr-skiplist behind the range-sharded map with this many shards (a power of two); 0 = unsharded")
+	recycle := fs.Bool("recycle", false, "enable EBR-backed node recycling on the fr-* structures (and the -server self store): histories are then checked with node identities repeating")
 	srvAddr := fs.String("server", "", "drive a lflserver over TCP at this address instead of an in-process structure; \"self\" starts and gracefully drains an in-process server each round")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
 	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
@@ -248,12 +305,13 @@ func run(args []string) error {
 
 	if *srvAddr != "" {
 		return runServerMode(*srvAddr, *threads, *ops, *keys, *rounds, *seed,
-			*batch, *shards, tel, *telEvery)
+			*batch, *shards, *recycle, tel, *telEvery)
 	}
 
 	totalOps := 0
+	var totalRecycled, totalDropped uint64
 	for round := 0; round < *rounds; round++ {
-		d, err := newChecked(*impl, *shards, *keys, tel)
+		d, err := newChecked(*impl, *shards, *keys, *recycle, tel)
 		if err != nil {
 			return err
 		}
@@ -302,12 +360,28 @@ func run(args []string) error {
 			return fmt.Errorf("round %d: %w", round, err)
 		}
 		totalOps += *threads * *ops
+		if *recycle {
+			// Quiesce the round's domain and fold in its reuse totals: the
+			// histories just checked were produced over recycled identities.
+			rc := d.(recycleChecked)
+			rc.forceReclaim()
+			r, dr := rc.recycleCounts()
+			totalRecycled += r
+			totalDropped += dr
+		}
 		if tel != nil && *telEvery > 0 && (round+1)%*telEvery == 0 {
 			printTelemetryDelta(round+1, tel.Delta())
 		}
 	}
 	fmt.Printf("ok: %s passed %d rounds, %d checked operations, all histories linearizable\n",
 		*impl, *rounds, totalOps)
+	if *recycle {
+		fmt.Printf("ok: node recycling live during every round: %d node identities reused, %d dropped to GC\n",
+			totalRecycled, totalDropped)
+		if totalRecycled == 0 {
+			return fmt.Errorf("-recycle run reused no node identities; the rounds never exercised reuse (raise -ops or lower -keys)")
+		}
+	}
 	return nil
 }
 

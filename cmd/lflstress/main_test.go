@@ -15,7 +15,7 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 		"fr-list", "fr-skiplist", "harris-list", "harris-skiplist",
 		"valois-list", "noflag-list",
 	} {
-		d, err := newChecked(impl, 0, 16, nil)
+		d, err := newChecked(impl, 0, 16, false, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", impl, err)
 		}
@@ -35,7 +35,7 @@ func TestNewCheckedKnownImpls(t *testing.T) {
 }
 
 func TestNewCheckedUnknownImpl(t *testing.T) {
-	if _, err := newChecked("btree", 0, 16, nil); err == nil {
+	if _, err := newChecked("btree", 0, 16, false, nil); err == nil {
 		t.Fatal("unknown implementation accepted")
 	}
 }
@@ -140,6 +140,47 @@ func TestRunServerBadShards(t *testing.T) {
 	}
 }
 
+// TestRunRecycleSmoke drives the primary structures with EBR-backed node
+// recycling live: small key space, heavy churn, so node identities repeat
+// across the checked histories — point ops, batches, and the sharded
+// routing layer all stay linearizable over reused memory.
+func TestRunRecycleSmoke(t *testing.T) {
+	for _, args := range [][]string{
+		{"-impl", "fr-list", "-threads", "4", "-ops", "300", "-keys", "8", "-rounds", "2", "-recycle"},
+		{"-impl", "fr-skiplist", "-threads", "4", "-ops", "300", "-keys", "8", "-rounds", "2", "-recycle"},
+		{"-impl", "fr-skiplist", "-threads", "4", "-ops", "256", "-keys", "128", "-rounds", "2", "-batch", "16", "-recycle"},
+		{"-impl", "fr-skiplist", "-threads", "4", "-ops", "300", "-keys", "16", "-rounds", "2", "-shards", "4", "-recycle"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+// TestRunRecycleServerSelf: the -server self store runs WithRecycling; the
+// serving layer's coalesced batches execute over recycled nodes and every
+// response still linearizes, with the drain completing cleanly.
+func TestRunRecycleServerSelf(t *testing.T) {
+	err := run([]string{"-server", "self", "-threads", "4", "-ops", "400",
+		"-keys", "32", "-rounds", "2", "-batch", "8", "-recycle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRecycleBadFlags: -recycle refuses the baselines (no reclamation
+// seam) and external servers (their store is not ours to configure).
+func TestRunRecycleBadFlags(t *testing.T) {
+	err := run([]string{"-impl", "harris-list", "-rounds", "1", "-recycle"})
+	if err == nil || !strings.Contains(err.Error(), "-recycle") {
+		t.Fatalf("err = %v, want recycle-impl error", err)
+	}
+	err = run([]string{"-server", "127.0.0.1:1", "-rounds", "1", "-recycle"})
+	if err == nil || !strings.Contains(err.Error(), "self") {
+		t.Fatalf("err = %v, want recycle-server error", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-impl", "nope"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown -impl") {
@@ -165,7 +206,7 @@ func TestRunWithTelemetry(t *testing.T) {
 func TestTelemetryScrapeDuringStress(t *testing.T) {
 	tel := ltel.New("stress-scrape", ltel.WithSampleEvery(1)).PublishExpvar()
 	defer tel.Unregister()
-	d, err := newChecked("fr-skiplist", 0, 16, tel)
+	d, err := newChecked("fr-skiplist", 0, 16, false, tel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ import (
 // not see each other's leftovers, and sweeps its slice with DELs first so
 // state from before the run (the checker assumes an empty history per key)
 // cannot fail round 0.
-func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64, pipeline, shards int, tel *ltel.Telemetry, telEvery int) error {
+func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64, pipeline, shards int, recycle bool, tel *ltel.Telemetry, telEvery int) error {
 	if pipeline <= 0 {
 		pipeline = 16
 	}
@@ -43,6 +43,9 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 	}
 	if shards < 1 || shards&(shards-1) != 0 {
 		return fmt.Errorf("-shards %d: shard count must be a power of two", shards)
+	}
+	if recycle && addr != "self" {
+		return fmt.Errorf("-recycle with -server applies only to \"self\" (the store of an external server is not ours to configure)")
 	}
 	// In self mode one Obs spans every round's server, so the per-verb
 	// latency histograms accumulate across rounds and the periodic delta
@@ -53,13 +56,18 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 		obs = server.NewObs(server.ObsConfig{})
 	}
 	totalOps := 0
+	var totalRecycled, totalDropped uint64
 	for round := 0; round < rounds; round++ {
 		target, keyBase := addr, round*keyRange
 		var srv *server.Server
+		var roundStore server.Store
 		if addr == "self" {
 			var opts []lockfree.Option
 			if tel != nil {
 				opts = append(opts, lockfree.WithTelemetry(tel))
+			}
+			if recycle {
+				opts = append(opts, lockfree.WithRecycling())
 			}
 			var store server.Store
 			if shards > 1 {
@@ -68,6 +76,7 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 			} else {
 				store = lockfree.NewSkipList[int, string](opts...)
 			}
+			roundStore = store
 			srv = server.New(server.Config{}, store)
 			if tel != nil {
 				srv.SetTelemetry(tel.Recorder())
@@ -111,6 +120,20 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 			if err != nil {
 				return fmt.Errorf("round %d: graceful drain incomplete: %w", round, err)
 			}
+			if recycle {
+				// The drained server is quiescent: flush the store's domain
+				// and fold its identity-reuse totals into the run summary.
+				rec := roundStore.(interface {
+					ForceReclaim()
+					RecycleCounts() (uint64, uint64)
+				})
+				for i := 0; i < 6; i++ {
+					rec.ForceReclaim()
+				}
+				r, d := rec.RecycleCounts()
+				totalRecycled += r
+				totalDropped += d
+			}
 		}
 		if err := history.Check(rec.Ops()); err != nil {
 			if _, dense := err.(*history.ErrTooDense); dense {
@@ -129,6 +152,13 @@ func runServerMode(addr string, threads, ops, keyRange, rounds int, seed uint64,
 	}
 	fmt.Printf("ok: server %s passed %d rounds, %d checked operations over TCP, all histories linearizable\n",
 		addr, rounds, totalOps)
+	if recycle {
+		fmt.Printf("ok: node recycling live in the served store: %d node identities reused, %d dropped to GC\n",
+			totalRecycled, totalDropped)
+		if totalRecycled == 0 {
+			return fmt.Errorf("-recycle server run reused no node identities (raise -ops or lower -keys)")
+		}
+	}
 	return nil
 }
 

@@ -43,6 +43,7 @@ func (l *List[K, V]) GetBatch(p *Proc, keys []K, vals []V, found []bool) int {
 			found[i] = ok
 		}
 	}
+	f.Reset()
 	return n
 }
 
@@ -63,6 +64,7 @@ func (l *List[K, V]) InsertBatch(p *Proc, items []KV[K, V], inserted []bool) int
 			inserted[i] = ok
 		}
 	}
+	f.Reset()
 	return n
 }
 
@@ -82,6 +84,7 @@ func (l *List[K, V]) DeleteBatch(p *Proc, keys []K, deleted []bool) int {
 			deleted[i] = ok
 		}
 	}
+	f.Reset()
 	return n
 }
 

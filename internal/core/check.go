@@ -21,6 +21,7 @@ import (
 // flagged at all (every deletion has fully completed), which this checker
 // also enforces.
 func (l *List[K, V]) CheckInvariants() error {
+	defer l.opPin(nil).Unpin()
 	prev := l.head
 	seen := 0
 	for {
@@ -90,6 +91,7 @@ func (l *List[K, V]) ascend(fn func(k K, v V) bool) {
 // pointers reach level 1 - and every node present on level v+1 has its
 // whole tower below it present.
 func (l *SkipList[K, V]) CheckStructure() error {
+	defer l.opPin(nil).Unpin()
 	// Per-level linked-list invariants plus key sets per level.
 	levelKeys := make([]map[K]*SLNode[K, V], l.maxLevel)
 	for lv := 1; lv <= l.maxLevel; lv++ {
@@ -196,6 +198,7 @@ func (l *SkipList[K, V]) ascendRange(p *Proc, from, to K, fn func(k K, v V) bool
 // node is on level h+1. Used by experiment E6. Call in a quiescent state
 // for exact results.
 func (l *SkipList[K, V]) Heights() []int {
+	defer l.opPin(nil).Unpin()
 	top := make(map[K]int)
 	for lv := 1; lv <= l.maxLevel; lv++ {
 		n := l.heads[lv-1].right()

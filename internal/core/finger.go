@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/telemetry"
+import (
+	"repro/internal/ebr"
+	"repro/internal/telemetry"
+)
 
 // This file implements search fingers: cursor handles that remember where
 // the previous operation ended and start the next search there instead of
@@ -43,6 +46,11 @@ import "repro/internal/telemetry"
 type Finger[K comparable, V any] struct {
 	l    *List[K, V]
 	prev *Node[K, V]
+	// pin keeps the remembered node's memory out of the recycler between
+	// operations (a per-op pin would leave a gap in which prev could be
+	// recycled and re-keyed mid-read). Acquired lazily on the first
+	// operation, released by Reset; nil when the list does not recycle.
+	pin *ebr.Pin
 }
 
 // NewFinger returns a finger positioned at the head (the first operation
@@ -53,8 +61,23 @@ func (l *List[K, V]) NewFinger() *Finger[K, V] { return &Finger[K, V]{l: l} }
 func (f *Finger[K, V]) List() *List[K, V] { return f.l }
 
 // Reset forgets the remembered position: the next operation searches from
-// the head and drops the finger's reference into the structure.
-func (f *Finger[K, V]) Reset() { f.prev = nil }
+// the head, drops the finger's reference into the structure, and releases
+// the finger's recycling pin — park long-lived idle fingers with Reset,
+// or their pin stalls the epoch and retire lists hit their drop-to-GC cap.
+func (f *Finger[K, V]) Reset() {
+	f.prev = nil
+	f.pin.Unpin()
+	f.pin = nil
+}
+
+// ensurePin takes the finger's lifetime pin on first use. Unlike the
+// per-op wrappers it never borrows the caller's Proc.Epoch pin: the
+// finger outlives any single call.
+func (f *Finger[K, V]) ensurePin() {
+	if f.pin == nil && f.l.rec != nil {
+		f.pin = f.l.rec.dom.Pin()
+	}
+}
 
 // startNode resolves the finger to a valid search start for key k: the
 // remembered node after backlink recovery when it still orders <= k
@@ -122,6 +145,7 @@ func (f *Finger[K, V]) remove(p *Proc, k K) (*Node[K, V], bool) {
 // Search looks up k starting from the finger and returns its node, or nil
 // if k is absent. The finger moves to where the search ended.
 func (f *Finger[K, V]) Search(p *Proc, k K) *Node[K, V] {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return f.search(p, k)
@@ -141,6 +165,7 @@ func (f *Finger[K, V]) Search(p *Proc, k K) *Node[K, V] {
 
 // Get looks up k starting from the finger.
 func (f *Finger[K, V]) Get(p *Proc, k K) (V, bool) {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return f.get(p, k)
@@ -161,6 +186,7 @@ func (f *Finger[K, V]) Get(p *Proc, k K) (V, bool) {
 // Insert adds k with value v starting the search from the finger. Returns
 // the new node and true, or the existing node and false on a duplicate.
 func (f *Finger[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return f.insert(p, k, v)
@@ -180,6 +206,7 @@ func (f *Finger[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 
 // Delete removes k starting the search from the finger.
 func (f *Finger[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return f.remove(p, k)
@@ -221,6 +248,9 @@ type SkipFinger[K comparable, V any] struct {
 	// prevs[i] is the predecessor this finger last observed on level i+1.
 	// Only levels 1..top are meaningful.
 	prevs [maxFingerLevels]*SLNode[K, V]
+	// pin keeps the remembered towers out of the recycler between
+	// operations; see Finger.pin.
+	pin *ebr.Pin
 }
 
 // NewFinger returns a finger positioned at the head tower.
@@ -231,11 +261,22 @@ func (l *SkipList[K, V]) NewFinger() *SkipFinger[K, V] {
 // SkipList returns the skip list this finger traverses.
 func (f *SkipFinger[K, V]) SkipList() *SkipList[K, V] { return f.l }
 
-// Reset forgets the remembered position and drops the finger's references
-// into the structure.
+// Reset forgets the remembered position, drops the finger's references
+// into the structure, and releases the finger's recycling pin (see
+// Finger.Reset).
 func (f *SkipFinger[K, V]) Reset() {
 	f.top = 0
 	clear(f.prevs[:])
+	f.pin.Unpin()
+	f.pin = nil
+}
+
+// ensurePin takes the finger's lifetime pin on first use; see
+// Finger.ensurePin.
+func (f *SkipFinger[K, V]) ensurePin() {
+	if f.pin == nil && f.l.rec != nil {
+		f.pin = f.l.rec.dom.Pin()
+	}
 }
 
 // recover walks n's backlinks (within one level) to the first unmarked
@@ -347,6 +388,7 @@ func (f *SkipFinger[K, V]) searchToLevel(p *Proc, k K, v int, strict bool) (*SLN
 // Search looks up k starting from the finger and returns its root node,
 // or nil if k is absent.
 func (f *SkipFinger[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return l.searchVia(p, f, k)
@@ -375,6 +417,7 @@ func (f *SkipFinger[K, V]) Get(p *Proc, k K) (V, bool) {
 
 // Insert adds k with value v starting every level search from the finger.
 func (f *SkipFinger[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return l.insertVia(p, f, k, v)
@@ -394,6 +437,7 @@ func (f *SkipFinger[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 
 // Delete removes k starting every level search from the finger.
 func (f *SkipFinger[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
+	f.ensurePin()
 	l := f.l
 	if l.tel == nil {
 		return l.removeVia(p, f, k)

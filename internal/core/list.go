@@ -27,6 +27,9 @@ type List[K comparable, V any] struct {
 	// deletion C&S succeeded on this list - exactly once per node, from
 	// whichever goroutine won the C&S. Set before the list is shared.
 	retire func(node any)
+	// rec, when non-nil, recycles retired nodes through epoch-based
+	// reclamation (recycle.go). Set by EnableRecycling before sharing.
+	rec *recycler
 
 	// _ keeps the read-mostly header off whatever line the allocator
 	// places after it (and off size's shard slice header); size itself
@@ -86,7 +89,15 @@ func (l *List[K, V]) nodeLeq(n *Node[K, V], k K, strict bool) bool {
 // is called with each node whose unlinking C&S succeeds, exactly once per
 // node, from the goroutine that won the C&S (so fn must be safe for
 // concurrent use). This is the seam memory-reclamation schemes such as
-// internal/ebr hang on. Attach before the list is shared; nil detaches.
+// internal/ebr hang on.
+//
+// The hook MUST be attached before the list is shared and never changed
+// afterwards: l.retire is a plain field, written here without
+// synchronization and read at every physical-deletion C&S. A store that
+// races an operation is a data race (the race detector will flag it),
+// and even if it happens to win, deletions already past the nil check
+// miss the hook. Attach-then-share is the contract; nil detaches (under
+// the same single-threaded condition).
 func (l *List[K, V]) SetRetireHook(fn func(node any)) { l.retire = fn }
 
 // Len returns the number of keys in the list. The count is maintained at
@@ -139,7 +150,7 @@ func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V
 	if l.cmpNode(prev, k) == 0 { // duplicate key
 		return prev, false
 	}
-	newNode := makeNode(k, v)
+	newNode := l.newNode(p, k, v)
 	var bo casBackoff
 	for {
 		prevSucc := prev.loadSucc()
@@ -190,7 +201,10 @@ func (l *List[K, V]) insertFrom(p *Proc, k K, v V, from *Node[K, V]) (*Node[K, V
 		}
 		prev, next = l.searchFrom(p, k, prev, false) // Insert line 19
 		if l.cmpNode(prev, k) == 0 {
-			return prev, false // duplicate inserted concurrently (lines 20-22)
+			// Duplicate inserted concurrently (lines 20-22). newNode was
+			// never published, so it can go straight back to the free list.
+			l.freeNode(newNode)
+			return prev, false
 		}
 	}
 }
@@ -271,12 +285,14 @@ func (l *List[K, V]) helpMarked(p *Proc, prevNode, delNode *Node[K, V]) {
 	p.StatsOrNil().IncCAS(ok)
 	if ok {
 		// The winning C&S is the unique moment delNode leaves the list:
-		// hand it to the process's reclamation scheme, if any, and to the
-		// structure-level retire hook (internal/ebr integration).
+		// hand it to the process's reclamation scheme, if any, to the
+		// structure-level retire hook (internal/ebr integration), and to
+		// the recycler's epoch-stamped retire list.
 		p.RetireNode(delNode)
 		if l.retire != nil {
 			l.retire(delNode)
 		}
+		l.retireNode(p, delNode)
 	}
 }
 

@@ -25,13 +25,17 @@ func (l *SkipList[K, V]) slHelpMarked(p *Proc, prevNode, delNode *SLNode[K, V]) 
 	ok := prevNode.succ.CompareAndSwap(prevSucc, next.asClean())
 	p.StatsOrNil().IncCAS(ok)
 	if ok {
-		// Unique removal point of delNode from its level; reclamation
-		// schemes retire per level-node (tower roots last, since levels
-		// above the root are always removed first by Delete's sweep).
+		// Unique removal point of delNode from its level. Reclamation
+		// schemes retire per level-node — and see the root FIRST: Delete
+		// unlinks the level-1 node to linearize, then sweeps the upper
+		// levels, whose nodes still hold down/towerRoot edges into the
+		// root. The recycler therefore defers the whole tower until its
+		// last unlink (towerRetire).
 		p.RetireNode(delNode)
 		if l.retire != nil {
 			l.retire(delNode)
 		}
+		l.towerRetire(p, delNode)
 	}
 }
 

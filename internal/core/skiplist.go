@@ -40,6 +40,9 @@ type SkipList[K comparable, V any] struct {
 	// deletion C&S succeeded - exactly once per node, from whichever
 	// goroutine won the C&S. Set before the skip list is shared.
 	retire func(node any)
+	// rec, when non-nil, recycles retired towers through epoch-based
+	// reclamation (recycle.go). Set by WithRecycling at construction.
+	rec *recycler
 
 	// _ keeps the read-mostly header above off mutable lines; size stripes
 	// its writes across padded per-P shards (see List.size).
@@ -56,6 +59,7 @@ type skipListConfig struct {
 	maxLevel int
 	rng      func() uint64
 	retire   func(node any)
+	recycle  bool
 }
 
 // WithMaxLevel sets the head-tower height (interior towers grow to at most
@@ -77,12 +81,24 @@ func WithRandomSource(rng func() uint64) SkipListOption {
 // WithRetireHook attaches fn to every level's physical-deletion C&S site:
 // fn is called with each level node (*SLNode) whose unlinking C&S
 // succeeds, exactly once per node, from the goroutine that won the C&S
-// (so fn must be safe for concurrent use). Tower roots are retired last -
-// the descending search sweep removes levels >= 2 before the root's own
-// level-1 unlink. This is the seam memory-reclamation schemes such as
-// internal/ebr hang on.
+// (so fn must be safe for concurrent use). Note the retire ORDER: a
+// tower's root is usually retired FIRST (Delete unlinks the level-1 node
+// to linearize, then sweeps levels >= 2), so upper nodes arrive at the
+// hook after their root while still holding down/towerRoot edges to it —
+// a hook must not free a root eagerly on the assumption that its tower
+// is already gone. This is the seam memory-reclamation schemes such as
+// internal/ebr hang on; the built-in recycler (WithRecycling) handles
+// the ordering by retiring whole towers atomically.
 func WithRetireHook(fn func(node any)) SkipListOption {
 	return func(c *skipListConfig) { c.retire = fn }
+}
+
+// WithRecycling enables epoch-based node recycling: retired towers pass
+// through internal/ebr's grace periods onto a free list that Insert
+// consults before allocating, making steady-state insert-after-delete
+// traffic allocation-free. See recycle.go for the safety argument.
+func WithRecycling() SkipListOption {
+	return func(c *skipListConfig) { c.recycle = true }
 }
 
 // NewSkipList returns an empty skip list over a naturally ordered key
@@ -106,6 +122,9 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 		tails:    make([]*SLNode[K, V], cfg.maxLevel),
 		rng:      cfg.rng,
 		retire:   cfg.retire,
+	}
+	if cfg.recycle {
+		l.rec = newRecycler()
 	}
 	for i := 0; i < cfg.maxLevel; i++ {
 		l.heads[i] = &SLNode[K, V]{kind: kindHead, level: i + 1}
@@ -132,7 +151,12 @@ func NewSkipListFunc[K comparable, V any](compare func(K, K) int, opts ...SkipLi
 }
 
 // SetRetireHook attaches fn to every level's physical-deletion C&S site;
-// see WithRetireHook. Attach before the skip list is shared; nil detaches.
+// see WithRetireHook for the contract and the retire order. The hook MUST
+// be attached before the skip list is shared and never changed afterwards:
+// l.retire is a plain field, written here without synchronization and
+// read at every physical-deletion C&S — a store racing an operation is a
+// data race, and deletions already past the nil check miss the hook.
+// Attach-then-share is the contract; nil detaches (same condition).
 func (l *SkipList[K, V]) SetRetireHook(fn func(node any)) { l.retire = fn }
 
 // Len returns the number of keys stored. Exact in quiescent states.
@@ -239,9 +263,7 @@ func (l *SkipList[K, V]) insertVia(p *Proc, s slSearcher[K, V], k K, v V) (*SLNo
 	if l.cmpNode(prev, k) == 0 {
 		return prev, false // duplicate key
 	}
-	root := &SLNode[K, V]{key: k, val: v, level: 1}
-	root.towerRoot = root
-	root.intern()
+	root := l.newRoot(p, k, v)
 	height := l.randomHeight()
 	newNode := root
 	lv := 1
@@ -249,15 +271,26 @@ func (l *SkipList[K, V]) insertVia(p *Proc, s slSearcher[K, V], k K, v V) (*SLNo
 		var inserted bool
 		prev, inserted = l.insertNode(p, newNode, prev, next)
 		if !inserted && lv == 1 {
-			return prev, false // a concurrent insertion won with the same key
+			// A concurrent insertion won with the same key; root was never
+			// published and can go straight back to the free list.
+			if l.rec != nil {
+				l.rec.pool.Put(root)
+			}
+			return prev, false
 		}
 		if root.marked() {
 			// Our tower became superfluous while we were building it: a
 			// concurrent deletion removed the root. Undo the node we may
 			// just have added and report success (the insertion
 			// linearized at the root C&S, before the deletion).
-			if inserted && newNode != root {
-				l.deleteNode(p, prev, newNode)
+			if newNode != root {
+				if inserted {
+					l.deleteNode(p, prev, newNode)
+				} else if l.rec != nil {
+					// Never published: release its tower reference and
+					// recycle it directly.
+					l.towerAbandon(p, newNode)
+				}
 			}
 			return root, true
 		}
@@ -272,8 +305,13 @@ func (l *SkipList[K, V]) insertVia(p *Proc, s slSearcher[K, V], k K, v V) (*SLNo
 		if lv > height {
 			return root, true // tower construction finished
 		}
-		newNode = &SLNode[K, V]{key: k, level: lv, down: newNode, towerRoot: root}
-		newNode.intern()
+		if !l.towerAcquire(root) {
+			// The tower fully retired already (root deleted and every
+			// node unlinked): stop building. The insertion linearized at
+			// the root C&S long before.
+			return root, true
+		}
+		newNode = l.newUpper(p, k, lv, newNode, root)
 		prev, next = s.searchToLevel(p, k, lv, false)
 	}
 }

@@ -37,6 +37,17 @@ type SLNode[K comparable, V any] struct {
 	towerRoot *SLNode[K, V] // root of this node's tower (self on roots)
 	up        *SLNode[K, V] // head/tail towers only
 
+	// Recycling state (recycle.go), meaningful only when the owning skip
+	// list recycles nodes. towerLive — used on roots — counts the tower's
+	// not-yet-unlinked nodes (1 for the root plus 1 per upper node,
+	// acquired before each upper node is created); the tower retires as
+	// one batch when it reaches zero, because down/towerRoot edges point
+	// at earlier-unlinked nodes (the sweep unlinks the root first).
+	// reLink is the intrusive chain of unlinked upper nodes: the head
+	// hangs off the root, each interior's reLink is its chain successor.
+	towerLive atomic.Int32
+	reLink    atomic.Pointer[SLNode[K, V]]
+
 	// refs holds the node's interned successor records (clean, flagged,
 	// marked - the only records whose right pointer is this node), written
 	// once by intern before publication; see Node.refs in node.go.

@@ -22,6 +22,7 @@ type NodeState[K comparable] struct {
 // logically deleted nodes still linked - and reports each node's state.
 // It is a diagnostic; under concurrency it reflects some interleaving.
 func (l *List[K, V]) Snapshot() []NodeState[K] {
+	defer l.opPin(nil).Unpin()
 	var out []NodeState[K]
 	for n := l.head; n != nil; n = n.right() {
 		s := n.loadSucc()
@@ -76,6 +77,7 @@ func RenderState[K comparable](states []NodeState[K]) string {
 // LevelSnapshot reports the physical chain of one skip-list level
 // (1-based), including marked nodes, for Figure 6 style rendering.
 func (l *SkipList[K, V]) LevelSnapshot(level int) []NodeState[K] {
+	defer l.opPin(nil).Unpin()
 	var out []NodeState[K]
 	for n := l.heads[level-1]; n != nil; n = n.right() {
 		s := n.loadSucc()

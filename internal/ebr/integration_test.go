@@ -1,4 +1,4 @@
-package ebr
+package ebr_test
 
 import (
 	"math/rand/v2"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ebr"
 )
 
 // These tests wire the domain into the structures' retire seams and check
@@ -19,7 +20,7 @@ import (
 func flatRng() uint64 { return 0 }
 
 func TestRetireHookCountsListDeletions(t *testing.T) {
-	d := NewDomain()
+	d := ebr.NewDomain()
 	h := d.Register()
 	l := core.NewList[int, int]()
 	l.SetRetireHook(func(node any) {
@@ -57,7 +58,7 @@ func TestRetireHookCountsListDeletions(t *testing.T) {
 // random tower heights: deleting every key must retire exactly one node
 // per tower level, measured independently via the height histogram.
 func TestRetireHookCountsSkipListTowers(t *testing.T) {
-	d := NewDomain()
+	d := ebr.NewDomain()
 	h := d.Register()
 	l := core.NewSkipList[int, int](core.WithRetireHook(func(node any) {
 		if _, ok := node.(*core.SLNode[int, int]); !ok {
@@ -125,16 +126,16 @@ func TestRetireConcurrentChurn(t *testing.T) {
 		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			d := NewDomain()
+			d := ebr.NewDomain()
 			var hookRetires atomic.Uint64
 			s := tc.make(func(any) { hookRetires.Add(1) })
 			var deletes atomic.Uint64
-			handles := make([]*Handle, workers)
+			handles := make([]*ebr.Handle, workers)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				handles[w] = d.Register()
 				wg.Add(1)
-				go func(w int, h *Handle) {
+				go func(w int, h *ebr.Handle) {
 					defer wg.Done()
 					p := &core.Proc{ID: w, Retire: func(any) { h.Retire(func() {}) }}
 					rng := rand.New(rand.NewPCG(uint64(w), 41))
@@ -182,3 +183,141 @@ type skipOps struct{ l *core.SkipList[int, int] }
 
 func (o skipOps) Insert(p *core.Proc, k, v int) bool { _, ok := o.l.Insert(p, k, v); return ok }
 func (o skipOps) Delete(p *core.Proc, k int) bool    { _, ok := o.l.Delete(p, k); return ok }
+
+// TestIntegrationWithCoreList wires the domain into the FR list through
+// the Proc.Retire hook and checks the end-to-end contract: every
+// physically deleted node is retired exactly once, frees lag retirement by
+// the grace period, and a pinned reader is never exposed to a recycled
+// node.
+func TestIntegrationWithCoreList(t *testing.T) {
+	d := ebr.NewDomain()
+	l := core.NewList[int, int]()
+	const workers, ops, keyRange = 4, 4000, 64
+	var wg sync.WaitGroup
+	var retired atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register()
+			p := &core.Proc{ID: w, Retire: func(n any) {
+				retired.Add(1)
+				h.Retire(func() {
+					// A recycler would reset and pool n here.
+					_ = n
+				})
+			}}
+			rng := rand.New(rand.NewPCG(uint64(w), 8))
+			for i := 0; i < ops; i++ {
+				h.Enter()
+				k := int(rng.Uint64N(keyRange))
+				if rng.Uint64N(2) == 0 {
+					l.Insert(p, k, k)
+				} else {
+					l.Delete(p, k)
+				}
+				h.Exit()
+			}
+			h.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if retired.Load() == 0 {
+		t.Fatal("no nodes were retired")
+	}
+	if d.Freed() != d.Retired() {
+		t.Fatalf("freed %d of %d after flush", d.Freed(), d.Retired())
+	}
+	// Exactly-once retirement: retirement count equals nodes that left
+	// the list = successful inserts that were later deleted.
+	if got := uint64(retired.Load()); got != d.Retired() {
+		t.Fatalf("retire hook fired %d times, domain saw %d", got, d.Retired())
+	}
+}
+
+// TestIntegrationReaderSafety pins a reader on a node mid-deletion and
+// checks the free callback cannot run until the reader exits.
+func TestIntegrationReaderSafety(t *testing.T) {
+	d := ebr.NewDomain()
+	l := core.NewList[int, int]()
+	l.Insert(nil, 1, 1)
+	l.Insert(nil, 2, 2)
+
+	reader := d.Register()
+	writer := d.Register()
+
+	reader.Enter()
+	node := l.Search(nil, 2) // the reader holds this pointer
+	if node == nil {
+		t.Fatal("setup failed")
+	}
+
+	freed := make(chan struct{})
+	writer.Enter()
+	p := &core.Proc{Retire: func(n any) {
+		writer.Retire(func() { close(freed) })
+	}}
+	if _, ok := l.Delete(p, 2); !ok {
+		t.Fatal("delete failed")
+	}
+	writer.Exit()
+
+	// Churn the writer; the pinned reader must hold the free back.
+	for i := 0; i < 200; i++ {
+		writer.Enter()
+		writer.Exit()
+		d.TryAdvanceForTest()
+	}
+	select {
+	case <-freed:
+		t.Fatal("node freed while the reader still held it")
+	default:
+	}
+	// Reader can still safely read the (logically deleted) node.
+	if node.Key() != 2 || node.Value() != 2 {
+		t.Fatal("reader saw corrupted node")
+	}
+	reader.Exit()
+	for i := 0; i < 4; i++ {
+		d.TryAdvanceForTest()
+		writer.Enter()
+		writer.Exit()
+	}
+	select {
+	case <-freed:
+	default:
+		t.Fatal("node never freed after the reader exited")
+	}
+}
+
+func BenchmarkListOpsWithReclamation(b *testing.B) {
+	for _, mode := range []string{"bare", "ebr"} {
+		b.Run(mode, func(b *testing.B) {
+			d := ebr.NewDomain()
+			h := d.Register()
+			l := core.NewList[int, int]()
+			var p *core.Proc
+			if mode == "ebr" {
+				p = &core.Proc{Retire: func(n any) { h.Retire(func() {}) }}
+			}
+			for k := 0; k < 512; k += 2 {
+				l.Insert(nil, k, k)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := (i*2 + 1) % 512
+				if mode == "ebr" {
+					h.Enter()
+				}
+				l.Insert(p, k, k)
+				l.Delete(p, k)
+				if mode == "ebr" {
+					h.Exit()
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package ebr
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+// node is a stand-in retiree for the pool tests.
+type node struct{ id int }
+
+func TestPoolPutGet(t *testing.T) {
+	p := NewPool(8)
+	a, b := &node{1}, &node{2}
+	if !p.Put(a) || !p.Put(b) {
+		t.Fatal("Put into an empty pool failed")
+	}
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d, want 2", p.Free())
+	}
+	seen := map[*node]bool{}
+	for i := 0; i < 2; i++ {
+		raw := p.Get(nil)
+		if raw == nil {
+			t.Fatalf("Get %d returned nil with %d free", i, p.Free())
+		}
+		seen[raw.(*node)] = true
+	}
+	if !seen[a] || !seen[b] {
+		t.Fatalf("Get did not return the Put nodes: %v", seen)
+	}
+	if p.Get(nil) != nil {
+		t.Fatal("Get from a drained pool returned a node")
+	}
+}
+
+func TestPoolPutRespectsCap(t *testing.T) {
+	p := NewPool(2)
+	// A single goroutine at one call depth lands on one stripe, so the
+	// per-stripe cap is observable directly.
+	put := 0
+	for i := 0; i < 10; i++ {
+		if p.Put(&node{i}) {
+			put++
+		}
+	}
+	if put != 2 {
+		t.Fatalf("accepted %d puts on one stripe, want cap 2", put)
+	}
+}
+
+// TestPoolGetSteals fills stripes from many goroutines (distinct stacks →
+// distinct affine stripes) and drains everything from one goroutine: Get
+// must steal across stripes rather than see only its own.
+func TestPoolGetSteals(t *testing.T) {
+	p := NewPool(64)
+	const total = 48
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !p.Put(&node{i}) {
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p.Free() != total {
+		t.Fatalf("Free = %d after %d puts", p.Free(), total)
+	}
+	got := 0
+	for p.Get(nil) != nil {
+		got++
+	}
+	if got != total {
+		t.Fatalf("single-goroutine drain got %d of %d nodes", got, total)
+	}
+}
+
+// TestPinBlocksRecycle is the recycling twin of TestActiveHandlePinsEpoch:
+// while any Pin from the retirement epoch is held, retirees must not reach
+// the free list; once it is released, Reclaim pushes them onto the pool.
+func TestPinBlocksRecycle(t *testing.T) {
+	d := NewDomain()
+	pool := NewPool(0)
+
+	reader := d.Pin() // pins the current epoch
+
+	writer := d.Pin()
+	n := &node{7}
+	d.RetireNode(pool, n, nil)
+	writer.Unpin()
+
+	for i := 0; i < 10; i++ {
+		d.Reclaim(nil)
+	}
+	if got := d.Recycled(); got != 0 {
+		t.Fatalf("recycled %d nodes while a reader from the retirement epoch was pinned", got)
+	}
+	if pool.Free() != 0 {
+		t.Fatalf("pool has %d free nodes while the reader is pinned", pool.Free())
+	}
+
+	reader.Unpin()
+	for i := 0; i < 3; i++ {
+		d.Reclaim(nil)
+	}
+	if d.Recycled() != 1 {
+		t.Fatalf("Recycled = %d after the reader left, want 1", d.Recycled())
+	}
+	if raw := pool.Get(nil); raw != n {
+		t.Fatalf("Get = %v, want the retired node back", raw)
+	}
+}
+
+// TestPinNests: pins on the same stripe share a count; the stripe stays
+// occupied until every nested pin is released.
+func TestPinNests(t *testing.T) {
+	d := NewDomain()
+	pool := NewPool(0)
+	outer := d.Pin()
+	inner := d.Pin() // same goroutine, same call depth → same stripe is likely but not required
+	d.RetireNode(pool, &node{1}, nil)
+	inner.Unpin()
+	for i := 0; i < 10; i++ {
+		d.Reclaim(nil)
+	}
+	if d.Recycled() != 0 {
+		t.Fatal("recycled while the outer pin was still held")
+	}
+	outer.Unpin()
+	for i := 0; i < 3; i++ {
+		d.Reclaim(nil)
+	}
+	if d.Recycled() != 1 {
+		t.Fatalf("Recycled = %d after full unpin, want 1", d.Recycled())
+	}
+}
+
+// TestEpochStallBound: a pinned-but-idle critical section must bound
+// retire-list growth, not leak it. Past the per-slot cap, retirements are
+// abandoned to the GC and surface as ebr_stalled_epochs / Dropped.
+func TestEpochStallBound(t *testing.T) {
+	d := NewDomain()
+	pool := NewPool(0)
+	st := &instrument.OpStats{}
+
+	stalled := d.Pin() // held across the whole churn: the stalled reader
+	const churn = 5 * retireSlotCap
+	for i := 0; i < churn; i++ {
+		d.RetireNode(pool, &node{i}, st)
+	}
+
+	// One goroutine retires onto one stripe; the pinned stripe lets the
+	// epoch advance at most once (its published epoch then goes stale), so
+	// at most two of the three slots can hold un-drainable batches.
+	if limit := epochSlots * retireSlotCap; d.Pending() > limit {
+		t.Fatalf("stalled epoch retained %d retirees, want <= %d", d.Pending(), limit)
+	}
+	if d.Dropped() == 0 {
+		t.Fatal("no retirees were dropped to the GC despite the stalled epoch")
+	}
+	if st.StalledEpochs == 0 {
+		t.Fatal("ebr_stalled_epochs counter did not move")
+	}
+	if d.Recycled() != 0 {
+		t.Fatalf("recycled %d nodes under a stalled epoch", d.Recycled())
+	}
+
+	// Releasing the stall drains what was retained; nothing leaks.
+	stalled.Unpin()
+	for i := 0; i < 4; i++ {
+		d.Reclaim(st)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d after the stall cleared", d.Pending())
+	}
+	if d.Recycled() == 0 {
+		t.Fatal("nothing recycled after the stall cleared")
+	}
+	if got, want := d.Recycled()+d.Dropped(), uint64(churn); got != want {
+		t.Fatalf("recycled %d + dropped %d = %d, want every retiree accounted (%d)",
+			d.Recycled(), d.Dropped(), got, want)
+	}
+	if st.EpochAdvances == 0 {
+		t.Fatal("ebr_epoch_advances counter did not move")
+	}
+}
+
+// TestRetireNodeCounters: the happy path moves every telemetry counter the
+// exposition exports.
+func TestRetireNodeCounters(t *testing.T) {
+	d := NewDomain()
+	pool := NewPool(0)
+	st := &instrument.OpStats{}
+	const churn = 4 * advanceEvery
+	for i := 0; i < churn; i++ {
+		p := d.Pin()
+		d.RetireNode(pool, &node{i}, st)
+		p.Unpin()
+	}
+	for i := 0; i < 4; i++ {
+		d.Reclaim(st)
+	}
+	if d.Recycled() == 0 || pool.Free() == 0 {
+		t.Fatalf("Recycled = %d, pool.Free = %d after quiescent reclaim", d.Recycled(), pool.Free())
+	}
+	if st.NodesRecycled == 0 {
+		t.Fatal("nodes_recycled counter did not move")
+	}
+	if st.EpochAdvances == 0 {
+		t.Fatal("ebr_epoch_advances counter did not move")
+	}
+	if raw := pool.Get(st); raw == nil {
+		t.Fatal("Get missed with a stocked pool")
+	}
+	if st.FreelistHits == 0 {
+		t.Fatal("freelist_hits counter did not move")
+	}
+	for pool.Get(st) != nil {
+	}
+	if st.FreelistMisses == 0 {
+		t.Fatal("freelist_misses counter did not move")
+	}
+}
+
+// TestPinConcurrentChurn hammers Pin/RetireNode/Reclaim from many
+// goroutines; the -race rounds in scripts/check.sh run it at
+// GOMAXPROCS=2 and 8. Every retiree must be recycled or dropped, never
+// both, never lost.
+func TestPinConcurrentChurn(t *testing.T) {
+	d := NewDomain()
+	pool := NewPool(0)
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &instrument.OpStats{}
+			for i := 0; i < perWorker; i++ {
+				p := d.Pin()
+				d.RetireNode(pool, &node{w*perWorker + i}, st)
+				if i%7 == 0 {
+					pool.Get(st)
+				}
+				p.Unpin()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 6; i++ {
+		d.Reclaim(nil)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d after quiescent reclaim", d.Pending())
+	}
+	if d.Epoch() == 0 {
+		t.Fatal("epoch never advanced under churn")
+	}
+	if got, want := d.Recycled()+d.Dropped(), uint64(workers*perWorker); got != want {
+		t.Fatalf("recycled %d + dropped %d = %d, want %d", d.Recycled(), d.Dropped(), got, want)
+	}
+}
+
+func BenchmarkPinUnpin(b *testing.B) {
+	d := NewDomain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Pin().Unpin()
+	}
+}
+
+func BenchmarkRetireRecycle(b *testing.B) {
+	d := NewDomain()
+	pool := NewPool(0)
+	// Prime the pipeline so Get hits at steady state.
+	for i := 0; i < 512; i++ {
+		p := d.Pin()
+		d.RetireNode(pool, &node{i}, nil)
+		p.Unpin()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := d.Pin()
+		n := pool.Get(nil)
+		if n == nil {
+			n = &node{i}
+		}
+		d.RetireNode(pool, n, nil)
+		p.Unpin()
+	}
+}

@@ -35,6 +35,11 @@ type OpStats struct {
 	ConnRejected       uint64 // connections shed at accept time (connection cap)
 	CmdsCoalesced      uint64 // pipelined commands absorbed into batch calls
 	CmdsSlow           uint64 // commands whose store execution crossed the slow-trace threshold
+	EpochAdvances      uint64 // global-epoch advances of a reclamation domain (internal/ebr)
+	NodesRecycled      uint64 // retired nodes returned to a free list after their grace period
+	FreelistHits       uint64 // node constructions served from a free list (no heap allocation)
+	FreelistMisses     uint64 // node constructions that fell back to the heap allocator
+	StalledEpochs      uint64 // retirements abandoned to the GC because the epoch was stalled
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -62,6 +67,11 @@ const (
 	CtrConnRejected
 	CtrCmdsCoalesced
 	CtrCmdsSlow
+	CtrEpochAdvances
+	CtrNodesRecycled
+	CtrFreelistHits
+	CtrFreelistMisses
+	CtrStalledEpochs
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -86,6 +96,11 @@ var CounterNames = [NumCounters]string{
 	CtrConnRejected:       "conn_rejected",
 	CtrCmdsCoalesced:      "cmds_coalesced",
 	CtrCmdsSlow:           "cmds_slow",
+	CtrEpochAdvances:      "ebr_epoch_advances",
+	CtrNodesRecycled:      "nodes_recycled",
+	CtrFreelistHits:       "freelist_hits",
+	CtrFreelistMisses:     "freelist_misses",
+	CtrStalledEpochs:      "ebr_stalled_epochs",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -111,6 +126,11 @@ func (s *OpStats) Vector() Vector {
 		CtrConnRejected:       s.ConnRejected,
 		CtrCmdsCoalesced:      s.CmdsCoalesced,
 		CtrCmdsSlow:           s.CmdsSlow,
+		CtrEpochAdvances:      s.EpochAdvances,
+		CtrNodesRecycled:      s.NodesRecycled,
+		CtrFreelistHits:       s.FreelistHits,
+		CtrFreelistMisses:     s.FreelistMisses,
+		CtrStalledEpochs:      s.StalledEpochs,
 	}
 }
 
@@ -133,6 +153,11 @@ func (s *OpStats) FromVector(v Vector) {
 	s.ConnRejected = v[CtrConnRejected]
 	s.CmdsCoalesced = v[CtrCmdsCoalesced]
 	s.CmdsSlow = v[CtrCmdsSlow]
+	s.EpochAdvances = v[CtrEpochAdvances]
+	s.NodesRecycled = v[CtrNodesRecycled]
+	s.FreelistHits = v[CtrFreelistHits]
+	s.FreelistMisses = v[CtrFreelistMisses]
+	s.StalledEpochs = v[CtrStalledEpochs]
 }
 
 // AddVector accumulates v into s.
@@ -149,11 +174,12 @@ func (s *OpStats) AddVector(v Vector) {
 // traversals and next/curr updates are the FR list's essential steps;
 // auxiliary-cell traversals are Valois's analogue. Help calls, restarts,
 // C&S successes, the finger hit/miss classifiers, backoff waits, shard
-// routing counts and the serving-layer connection/coalescing counters are
-// diagnostic only (restart and fallback work is billed through the
-// next/curr updates the search performs, a backoff wait performs no
-// shared-memory step at all, and the serving layer sits entirely above
-// the structures the analysis covers).
+// routing counts, the serving-layer connection/coalescing counters and
+// the reclamation counters are diagnostic only (restart and fallback work
+// is billed through the next/curr updates the search performs, a backoff
+// wait performs no shared-memory step at all, the serving layer sits
+// entirely above the structures the analysis covers, and memory
+// reclamation is bookkeeping the paper leaves to the environment).
 func (c Counter) Essential() bool {
 	switch c {
 	case CtrCASAttempts, CtrBacklinkTraversals, CtrNextUpdates,
@@ -281,6 +307,44 @@ func (s *OpStats) IncShard(n uint64) {
 	}
 }
 
+// IncEpochAdvance records one successful global-epoch advance.
+func (s *OpStats) IncEpochAdvance() {
+	if s != nil {
+		s.EpochAdvances++
+	}
+}
+
+// IncRecycled records n retired nodes pushed onto a free list after their
+// grace period elapsed.
+func (s *OpStats) IncRecycled(n uint64) {
+	if s != nil {
+		s.NodesRecycled += n
+	}
+}
+
+// IncFreelist records one free-list consultation by a node constructor:
+// hit means the node was served from the free list, miss that construction
+// fell back to the heap allocator.
+func (s *OpStats) IncFreelist(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.FreelistHits++
+	} else {
+		s.FreelistMisses++
+	}
+}
+
+// IncStalled records one retirement abandoned to the garbage collector
+// because the reclamation epoch was stalled (a pinned-but-idle critical
+// section kept the retire list at its cap).
+func (s *OpStats) IncStalled() {
+	if s != nil {
+		s.StalledEpochs++
+	}
+}
+
 // Point names a synchronization point inside the algorithms. The
 // adversarial executions of Section 3.1 require stopping a process at an
 // exact program point; hooks at these points make those schedules
@@ -374,6 +438,12 @@ type Proc struct {
 	// that succeeds, which happens exactly once per node. Memory
 	// reclamation schemes (internal/ebr) hang their retire step here.
 	Retire func(node any)
+	// Epoch, when non-nil, is an opaque epoch-pin token (*ebr.Pin installed
+	// by the lockfree facades' PinProc): it tells a recycling structure
+	// that the calling goroutine already holds a critical section on the
+	// structure's reclamation domain, so per-operation pin/unpin can be
+	// skipped - the pinned fast path. Single-goroutine state, like Stats.
+	Epoch any
 }
 
 // StatsOrNil returns the Proc's counter set, tolerating a nil Proc.

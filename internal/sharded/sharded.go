@@ -141,6 +141,18 @@ func (m *Map[K, V]) SetTelemetry(rec *telemetry.Recorder) {
 // Telemetry returns the attached recorder, or nil.
 func (m *Map[K, V]) Telemetry() *telemetry.Recorder { return m.tel }
 
+// SetRetireHook attaches ONE hook to every shard's physical-deletion C&S
+// sites (the same fn sees every retired node regardless of which shard it
+// lived in), under the per-shard SetRetireHook contract: attach before
+// the map is shared and never change it afterwards — the field is read
+// without synchronization at every unlink. fn must be safe for concurrent
+// use; nil detaches everywhere.
+func (m *Map[K, V]) SetRetireHook(fn func(node any)) {
+	for _, sh := range m.shards {
+		sh.SetRetireHook(fn)
+	}
+}
+
 // ShardFor returns the index of the shard owning key k: the number of
 // splitters that order <= k, found by binary search.
 func (m *Map[K, V]) ShardFor(k K) int {

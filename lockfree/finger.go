@@ -9,7 +9,9 @@ type KV[K comparable, V any] = core.KV[K, V]
 // sites: fn is called with each node whose unlinking C&S succeeds -
 // exactly once per node, from whichever goroutine won the C&S, so fn must
 // be safe for concurrent use. For skip lists fn fires once per level node
-// of a deleted tower, tower root last. This is the seam memory-reclamation
+// of a deleted tower — the root usually FIRST (Delete unlinks level 1 to
+// linearize, then sweeps the levels above, whose nodes still hold edges
+// into the root). This is the seam memory-reclamation
 // schemes (see repro/internal/ebr) hang on; most callers, who rely on the
 // Go garbage collector, do not need it.
 func WithRetireHook(fn func(node any)) Option {

@@ -62,7 +62,7 @@ type List[K cmp.Ordered, V any] struct {
 var _ Map[int, any] = (*List[int, any])(nil)
 
 // NewList returns an empty list dictionary. The options that apply are
-// WithTelemetry and WithRetireHook.
+// WithTelemetry, WithRetireHook, and WithRecycling.
 func NewList[K cmp.Ordered, V any](opts ...Option) *List[K, V] {
 	cfg := applyConfig(opts)
 	l := core.NewList[K, V]()
@@ -71,6 +71,9 @@ func NewList[K cmp.Ordered, V any](opts ...Option) *List[K, V] {
 	}
 	if cfg.retire != nil {
 		l.SetRetireHook(cfg.retire)
+	}
+	if cfg.recycle {
+		l.EnableRecycling()
 	}
 	return &List[K, V]{l: l}
 }
@@ -120,6 +123,7 @@ type config struct {
 	rng      func() uint64
 	tel      *telemetry.Telemetry
 	retire   func(node any)
+	recycle  bool
 }
 
 // coreSkipListOpts translates the config for the core skip-list
@@ -134,6 +138,9 @@ func (c *config) coreSkipListOpts() []core.SkipListOption {
 	}
 	if c.retire != nil {
 		opts = append(opts, core.WithRetireHook(c.retire))
+	}
+	if c.recycle {
+		opts = append(opts, core.WithRecycling())
 	}
 	return opts
 }
@@ -171,6 +178,17 @@ func WithRandomSource(rng func() uint64) Option {
 // records nothing and pays one nil-check branch per operation.
 func WithTelemetry(t *telemetry.Telemetry) Option {
 	return func(c *config) { c.tel = t }
+}
+
+// WithRecycling enables epoch-based node recycling (internal/ebr): nodes
+// unlinked by Delete pass through epoch-stamped retire lists and, once no
+// concurrent operation can still hold them, onto per-P free lists that
+// Insert consults before allocating. Steady-state insert-after-delete
+// traffic then allocates nothing — towers included — trading a pin/unpin
+// pair (two striped atomic adds) per operation for the GC pressure of
+// the write path. Amortize even that with PinProc around batches.
+func WithRecycling() Option {
+	return func(c *config) { c.recycle = true }
 }
 
 // NewSkipList returns an empty skip-list dictionary.

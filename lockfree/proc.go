@@ -1,6 +1,9 @@
 package lockfree
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/ebr"
+)
 
 // Proc carries per-process instrumentation (step counters, adversary
 // hooks) through an operation; see repro/internal/instrument. The *Proc
@@ -78,3 +81,66 @@ func (s *ShardedSkipList[K, V]) GetBatchProc(p *Proc, keys []K, vals []V, found 
 func (s *ShardedSkipList[K, V]) DeleteBatchProc(p *Proc, keys []K, deleted []bool) int {
 	return s.m.DeleteBatch(p, keys, deleted)
 }
+
+// EpochPin is an open critical section on a recycling structure's
+// reclamation domain, returned by the PinProc methods. While held, no
+// node the pinned operations traverse can have its memory recycled, and
+// every operation carrying the associated Proc skips its own per-op
+// pin/unpin — one pin amortized over a whole batch of calls. Release
+// with Unpin (idempotent against the zero value); holding a pin
+// indefinitely stalls the epoch, bounding reclamation at the retire-list
+// cap (counted as ebr_stalled_epochs), so scope pins like locks.
+type EpochPin struct {
+	pin *ebr.Pin
+	p   *Proc
+}
+
+// Unpin closes the critical section and detaches the token from the Proc.
+func (e EpochPin) Unpin() {
+	if e.p != nil {
+		e.p.Epoch = nil
+	}
+	e.pin.Unpin()
+}
+
+// PinProc opens a critical section on the skip list's reclamation domain
+// and installs the token in p.Epoch so the *Proc operations ride it.
+// No-op (but still safe to Unpin) when recycling is off or p is nil.
+func (s *SkipList[K, V]) PinProc(p *Proc) EpochPin {
+	pin := s.l.PinEpoch()
+	if pin != nil && p != nil {
+		p.Epoch = pin
+		return EpochPin{pin: pin, p: p}
+	}
+	return EpochPin{pin: pin}
+}
+
+// PinProc: see SkipList.PinProc.
+func (s *List[K, V]) PinProc(p *Proc) EpochPin {
+	pin := s.l.PinEpoch()
+	if pin != nil && p != nil {
+		p.Epoch = pin
+		return EpochPin{pin: pin, p: p}
+	}
+	return EpochPin{pin: pin}
+}
+
+// RecycleCounts reports (recycled, dropped) reclamation totals for a
+// recycling skip list: nodes pushed onto the free list vs. abandoned to
+// the GC (stalled epoch, contention, or full pool). Zeros when recycling
+// is off.
+func (s *SkipList[K, V]) RecycleCounts() (recycled, dropped uint64) {
+	return s.l.RecycleCounts()
+}
+
+// ForceReclaim attempts an epoch advance and drains quiesced retire
+// batches; intended for quiescent points (tests, shutdown).
+func (s *SkipList[K, V]) ForceReclaim() { s.l.ForceReclaim(nil) }
+
+// RecycleCounts: see SkipList.RecycleCounts.
+func (s *List[K, V]) RecycleCounts() (recycled, dropped uint64) {
+	return s.l.RecycleCounts()
+}
+
+// ForceReclaim: see SkipList.ForceReclaim.
+func (s *List[K, V]) ForceReclaim() { s.l.ForceReclaim(nil) }

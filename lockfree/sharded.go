@@ -137,3 +137,23 @@ func EqualSplitters(lo, hi int, s int) []int {
 var _ interface {
 	GetBatch(p *core.Proc, keys []int, vals []int, found []bool) int
 } = (*sharded.Map[int, int])(nil)
+
+// RecycleCounts sums (recycled, dropped) reclamation totals over every
+// shard's domain; see SkipList.RecycleCounts. Zeros when the map was not
+// built WithRecycling.
+func (s *ShardedSkipList[K, V]) RecycleCounts() (recycled, dropped uint64) {
+	for i := 0; i < s.m.Shards(); i++ {
+		r, d := s.m.Shard(i).RecycleCounts()
+		recycled += r
+		dropped += d
+	}
+	return recycled, dropped
+}
+
+// ForceReclaim attempts an epoch advance and drains quiesced retire
+// batches on every shard; intended for quiescent points.
+func (s *ShardedSkipList[K, V]) ForceReclaim() {
+	for i := 0; i < s.m.Shards(); i++ {
+		s.m.Shard(i).ForceReclaim(nil)
+	}
+}

@@ -52,6 +52,11 @@ var counterHelp = [itel.NumCounters]string{
 	"Total connections shed at accept time by the connection cap.",
 	"Total pipelined commands absorbed into coalesced batch calls by the serving layer.",
 	"Total commands whose store execution crossed the serving layer's slow-trace threshold.",
+	"Total global epoch advances of the reclamation domain (epoch-based recycling).",
+	"Total retired nodes pushed onto recycling free lists after their grace period.",
+	"Total node constructions served from a recycling free list instead of the allocator.",
+	"Total node constructions that missed the free list and allocated.",
+	"Total retirements abandoned to the GC because a stalled epoch pinned the retire list at its cap.",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given

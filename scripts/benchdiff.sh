@@ -45,12 +45,12 @@ if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
     BASE=$(git rev-parse HEAD~1)
 fi
 
-BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded)}"
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded|BenchmarkPinUnpin|BenchmarkRetireRecycle)}"
 COUNT="${BENCHDIFF_COUNT:-5}"
 BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
 MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
 MAXALLOCREG="${BENCHDIFF_MAX_ALLOCS_REGRESSION:-10}"
-PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded}"
+PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded ./internal/ebr}"
 
 TMP=$(mktemp -d)
 WORKTREE="$TMP/base"
@@ -123,6 +123,17 @@ fi
 # base predates them) are reported but cannot regress. Allocations past
 # maxallocreg percent fail - and a benchmark whose baseline is 0 allocs/op
 # fails on ANY new allocation, since a percentage of zero gates nothing.
+# Nonzero baselines also require the mean to move by more than half an
+# allocation: go test truncates allocs/op to an integer, so a benchmark
+# whose true value sits at an integer boundary (e.g. the skip-list
+# insert/delete pairs, whose geometric tower height averages exactly 2
+# nodes) reports run means that flip between the neighboring integers
+# with any timing perturbation — while a real leak adds at least one
+# whole allocation per op and clears the half-alloc bar easily.
+# The *ChurnRecycle benchmarks carry an absolute gate on top: they are the
+# zero-allocation write-path guarantee (DESIGN.md §2.1), so they must
+# report exactly 0 allocs/op on the new side even when the base predates
+# them and the relative gate has nothing to compare.
 # Mean time deltas are printed for the record; the significance-tested
 # time gate above is the only one that can fail on time.
 awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
@@ -146,6 +157,10 @@ awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
         for (name in newsum) {
             new = newsum[name] / newn[name]
             na = (name in newallocn) ? newalloc[name] / newallocn[name] : 0
+            if (name ~ /ChurnRecycle/ && na > 0) {
+                printf "benchdiff: %s allocates (%.2f allocs/op): the recycling write path must be 0\n", name, na > "/dev/stderr"
+                fails++
+            }
             if (!(name in oldsum)) {
                 printf "%-44s %12s %12.1f %8s %10s %10.2f\n", name, "-", new, "new", "-", na
                 continue
@@ -155,7 +170,7 @@ awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
             delta = (new - old) / old * 100
             flag = ""
             if (delta > maxreg) { flag = "  << slower on mean (advisory)" }
-            if ((oa == 0 && na > 0) || (oa > 0 && (na - oa) / oa * 100 > maxallocreg)) {
+            if ((oa == 0 && na > 0) || (oa > 0 && na - oa > 0.5 && (na - oa) / oa * 100 > maxallocreg)) {
                 flag = flag "  << REGRESSION (allocs)"; fails++
             }
             printf "%-44s %12.1f %12.1f %+7.1f%% %10.2f %10.2f%s\n", name, old, new, delta, oa, na, flag

@@ -53,6 +53,15 @@ echo "== race: instrument at GOMAXPROCS=2 and GOMAXPROCS=8 =="
 GOMAXPROCS=2 go test -race -count=1 ./internal/instrument
 GOMAXPROCS=8 go test -race -count=1 ./internal/instrument
 
+# The EBR layer is nothing but scheduling-shaped state: striped pins,
+# try-locked retire slots, epoch advancement, and free-list stealing. Race
+# it at both core counts — at 2 the stall paths (a preempted pinned
+# goroutine blocking the epoch) dominate, at 8 the stripe-contention
+# fallbacks do.
+echo "== race: ebr at GOMAXPROCS=2 and GOMAXPROCS=8 =="
+GOMAXPROCS=2 go test -race -count=1 ./internal/ebr
+GOMAXPROCS=8 go test -race -count=1 ./internal/ebr
+
 # End-to-end serving smoke: lflstress in -server self mode starts a real
 # TCP server per round, drives it with pipelined mixed workloads over
 # several connections, checks every history for linearizability, and
@@ -60,6 +69,14 @@ GOMAXPROCS=8 go test -race -count=1 ./internal/instrument
 # wall clock, bounded by the small op counts.
 echo "== lflstress -server self smoke =="
 go run ./cmd/lflstress -server self -threads 6 -ops 500 -keys 64 -rounds 4 -batch 8
+
+# Recycling smoke: the same linearizability checking with EBR-backed node
+# recycling live — a small key space under heavy churn, so node identities
+# repeat across the checked histories. The run fails unless identities
+# actually recycled, so this asserts the machinery is on, not just tolerated.
+echo "== lflstress -recycle smoke =="
+go run ./cmd/lflstress -impl fr-skiplist -recycle -threads 6 -ops 500 -keys 16 -rounds 3 -batch 8
+go run ./cmd/lflstress -server self -recycle -threads 4 -ops 400 -keys 32 -rounds 2 -batch 8
 
 # Observability smoke: a real lflserver with its admin listener and pprof
 # enabled, every debug surface curled and sanity-checked, then a SIGTERM
