@@ -45,6 +45,9 @@ type benchJSON struct {
 	// bench stage preserves whatever is already there, so the two stages
 	// can refresh their halves of the file independently.
 	OpenLoop *openLoopResult `json:"open_loop,omitempty"`
+	// Wire is written by the -wire stage (see wire.go), preserved here
+	// for the same reason.
+	Wire *wireResult `json:"wire,omitempty"`
 }
 
 type benchRow struct {
@@ -353,6 +356,7 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		var prev benchJSON
 		if json.Unmarshal(data, &prev) == nil {
 			out.OpenLoop = prev.OpenLoop // keep the -openloop stage's section
+			out.Wire = prev.Wire         // and the -wire stage's
 		}
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered / %s churn, ops=%d) ==\n",

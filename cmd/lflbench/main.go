@@ -9,6 +9,7 @@
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	lflbench -openloop [-openloop-rate 20000] [-openloop-duration 5s]
 //	         [-openloop-conns 4] [-openloop-keyrange 65536]
+//	lflbench -wire
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
 // full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
@@ -23,6 +24,12 @@
 // so stalls are charged to the ops that waited) and the server's own
 // per-verb histograms folded into the open_loop section of the JSON file.
 // With -openloop and no explicit -exp, only the open-loop stage runs.
+//
+// -wire runs the wire-protocol per-op cost stage: an in-process server on
+// a net.Pipe driven with pre-rendered requests, sweeping line vs RESP2
+// crossed with pipeline depth 1/16 for GET and SET, recording ns/op and
+// allocs/op into the wire section of the JSON file. Steady-state GETs are
+// expected allocation-free on both dialects.
 package main
 
 import (
@@ -54,6 +61,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file when the run completes")
 	openLoop := fs.Bool("openloop", false, "run the fixed-arrival-rate serving-latency stage")
+	wire := fs.Bool("wire", false, "run the wire-protocol per-op cost stage (line vs RESP, depth 1/16)")
 	olRate := fs.Int("openloop-rate", 20_000, "open-loop offered rate, total ops/sec across connections")
 	olDur := fs.Duration("openloop-duration", 5*time.Second, "open-loop measured window")
 	olConns := fs.Int("openloop-conns", 4, "open-loop client connections")
@@ -77,9 +85,9 @@ func run(args []string) error {
 	}
 
 	want := map[string]bool{}
-	if *openLoop && !expSet {
-		// -openloop alone runs just the serving-latency stage; combine
-		// with an explicit -exp to run both in one invocation.
+	if (*openLoop || *wire) && !expSet {
+		// -openloop / -wire alone run just their stage; combine with an
+		// explicit -exp to run experiments in the same invocation.
 	} else if *expFlag == "all" {
 		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "bench"} {
 			want[e] = true
@@ -145,8 +153,18 @@ func run(args []string) error {
 		fmt.Printf("[openloop finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
 		ran++
 	}
+	if *wire {
+		begin := time.Now()
+		out, err := runWire(*jsonPath, *quick)
+		if err != nil {
+			return fmt.Errorf("wire: %w", err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[wire finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
+		ran++
+	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, or -openloop)")
+		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, -openloop, or -wire)")
 	}
 
 	if *memProfile != "" {

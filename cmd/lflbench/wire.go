@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/lockfree"
+)
+
+// The wire stage measures the serving layer's per-request cost with the
+// store held constant: an in-process server on a net.Pipe (no kernel
+// sockets, no syscall jitter), driven by pre-rendered request blocks so
+// the client side contributes zero allocations and the allocs/op column
+// is the wire path's alone. It sweeps the two dialects (line protocol
+// and RESP2) crossed with pipeline depth 1 and 16, for GETs (all hits)
+// and SETs (all duplicate keys, exercising the arena-interned value
+// path). The headline invariant this stage pins in the checked-in JSON:
+// steady-state GETs are allocation-free on both dialects, and SETs
+// amortize to well under one allocation per op.
+
+// wireResult is the wire section of BENCH_lflbench.json.
+type wireResult struct {
+	KeyRange int       `json:"key_range"`
+	ValueLen int       `json:"value_len"`
+	Rows     []wireRow `json:"rows"`
+}
+
+type wireRow struct {
+	Proto       string  `json:"proto"` // "line" | "resp"
+	Verb        string  `json:"verb"`  // "get" | "set"
+	Depth       int     `json:"depth"` // requests in flight per write
+	Ops         int     `json:"ops"`
+	NSPerOp     int64   `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+const (
+	wireKeyRange = 4096 // fixed-width 4-digit keys keep every frame the same size
+	wireValueLen = 16
+	wireBlocks   = 64 // distinct pre-rendered batches cycled per iteration
+)
+
+// wireValue is the constant 16-byte payload; SETs are duplicate-key
+// inserts (the store is insert-if-absent), so the store never grows and
+// the row isolates parse+reply cost rather than skip-list insertion.
+var wireValue = strings.Repeat("v", wireValueLen)
+
+// renderWireBlock renders depth requests starting at key base, returning
+// the request bytes and the exact reply length the server will produce.
+func renderWireBlock(proto, verb string, base, depth int) ([]byte, int) {
+	var req []byte
+	respLen := 0
+	for j := 0; j < depth; j++ {
+		key := fmt.Sprintf("%04d", (base+j)%wireKeyRange)
+		switch {
+		case proto == "line" && verb == "get":
+			req = append(req, "GET "+key+"\n"...)
+			respLen += 1 + wireValueLen + 1 // $<value>\n
+		case proto == "line" && verb == "set":
+			req = append(req, "SET "+key+" "+wireValue+"\n"...)
+			respLen += 3 // :0\n (duplicate key)
+		case proto == "resp" && verb == "get":
+			req = append(req, "*2\r\n$3\r\nGET\r\n$4\r\n"+key+"\r\n"...)
+			respLen += len("$16\r\n") + wireValueLen + 2
+		case proto == "resp" && verb == "set":
+			req = append(req, fmt.Sprintf("*3\r\n$3\r\nSET\r\n$4\r\n%s\r\n$%d\r\n%s\r\n", key, wireValueLen, wireValue)...)
+			respLen += len("+OK\r\n")
+		}
+	}
+	return req, respLen
+}
+
+// wireOne runs a single (proto, verb, depth) row against srv's pipe end.
+func wireOne(cl net.Conn, proto, verb string, depth, ops int) (wireRow, error) {
+	reqs := make([][]byte, wireBlocks)
+	respLen := 0
+	for b := range reqs {
+		reqs[b], respLen = renderWireBlock(proto, verb, b*depth, depth)
+	}
+	buf := make([]byte, respLen)
+
+	iters := ops / depth
+	exchange := func(n int) error {
+		for i := 0; i < n; i++ {
+			if _, err := cl.Write(reqs[i%wireBlocks]); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(cl, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm the connection's arenas, free lists and reply buffer so the
+	// measured window sees steady state, then let the warmup garbage die.
+	if err := exchange(min(iters, 200)); err != nil {
+		return wireRow{}, fmt.Errorf("%s/%s depth=%d warmup: %w", proto, verb, depth, err)
+	}
+	runtime.GC()
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	begin := time.Now()
+	if err := exchange(iters); err != nil {
+		return wireRow{}, fmt.Errorf("%s/%s depth=%d: %w", proto, verb, depth, err)
+	}
+	elapsed := time.Since(begin)
+	runtime.ReadMemStats(&m1)
+
+	n := iters * depth
+	return wireRow{
+		Proto:       proto,
+		Verb:        verb,
+		Depth:       depth,
+		Ops:         n,
+		NSPerOp:     elapsed.Nanoseconds() / int64(n),
+		OpsPerSec:   float64(n) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+	}, nil
+}
+
+// runWire executes the wire stage, folds the wire section into the JSON
+// file at path (preserving the other stages' sections), and returns a
+// summary table.
+func runWire(path string, quick bool) (string, error) {
+	ops := 200_000
+	if quick {
+		ops = 10_000
+	}
+
+	res := &wireResult{KeyRange: wireKeyRange, ValueLen: wireValueLen}
+	text := fmt.Sprintf("== wire: serving-layer per-op cost (net.Pipe, %d keys, %dB values, ops=%d/row) ==\n",
+		wireKeyRange, wireValueLen, ops)
+	text += fmt.Sprintf("%-6s %-5s %6s %10s %12s %12s %10s\n",
+		"proto", "verb", "depth", "ns/op", "Mops/s", "allocs/op", "B/op")
+
+	for _, proto := range []string{"line", "resp"} {
+		// One connection per dialect: detection is per-connection and
+		// sticky, and a fresh conn gives each dialect cold arenas to warm.
+		store := lockfree.NewSkipList[int, string]()
+		for k := 0; k < wireKeyRange; k++ {
+			store.Insert(k, wireValue)
+		}
+		// Negative timeouts disable deadline arming: net.Pipe deadlines
+		// allocate a timer per arm, which would poison the allocs column.
+		srv := server.New(server.Config{
+			ReadTimeout:  -1,
+			WriteTimeout: -1,
+			MaxBatch:     64,
+		}, store)
+		cl, se := net.Pipe()
+		served := make(chan struct{})
+		go func() {
+			srv.ServeConn(se)
+			close(served)
+		}()
+
+		for _, verb := range []string{"get", "set"} {
+			for _, depth := range []int{1, 16} {
+				row, err := wireOne(cl, proto, verb, depth, ops)
+				if err != nil {
+					cl.Close()
+					return "", err
+				}
+				res.Rows = append(res.Rows, row)
+				text += fmt.Sprintf("%-6s %-5s %6d %10d %12.3f %12.4f %10.1f\n",
+					row.Proto, row.Verb, row.Depth, row.NSPerOp,
+					row.OpsPerSec/1e6, row.AllocsPerOp, row.BytesPerOp)
+			}
+		}
+		cl.Close()
+		select {
+		case <-served:
+		case <-time.After(2 * time.Second):
+			return "", fmt.Errorf("%s: serving goroutine did not terminate", proto)
+		}
+	}
+
+	if err := mergeWireJSON(path, res); err != nil {
+		return "", err
+	}
+	text += fmt.Sprintf("wire section written to %s\n", path)
+	return text, nil
+}
+
+// mergeWireJSON folds res into the JSON file at path, preserving the
+// sections the other stages may have written.
+func mergeWireJSON(path string, res *wireResult) error {
+	out := benchJSON{Schema: "lflbench/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			return fmt.Errorf("%s exists but is not valid lflbench JSON: %w", path, err)
+		}
+	}
+	out.Wire = res
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,9 +1,14 @@
 // Command lflserver serves the range-sharded lock-free skip list as a
-// networked ordered key-value store, speaking the line protocol documented
-// in internal/server (SET/GET/DEL/RANGE/LEN/PING). Each connection's
-// pipelined command runs are coalesced into sorted batch calls through the
-// finger machinery, so the amortized clustered-access bounds of DESIGN.md
-// Sections 8 and 9 carry over to network traffic.
+// networked ordered key-value store, speaking two wire dialects on the
+// same port: the line protocol documented in internal/server
+// (SET/GET/DEL/RANGE/LEN/PING) and RESP2, the Redis protocol, so
+// redis-cli and redis-benchmark work out of the box. The dialect is
+// auto-detected per connection from the first byte ('*' opens a RESP
+// array). Each connection's pipelined command runs are coalesced into
+// sorted batch calls through the finger machinery, so the amortized
+// clustered-access bounds of DESIGN.md Sections 8 and 9 carry over to
+// network traffic — on either dialect — and replies go back in one
+// vectored write per run over a zero-allocation reply path.
 //
 // Usage:
 //

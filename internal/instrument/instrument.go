@@ -35,6 +35,8 @@ type OpStats struct {
 	ConnRejected       uint64 // connections shed at accept time (connection cap)
 	CmdsCoalesced      uint64 // pipelined commands absorbed into batch calls
 	CmdsSlow           uint64 // commands whose store execution crossed the slow-trace threshold
+	ConnResp           uint64 // connections auto-detected as RESP2 by their first byte
+	WireFlushes        uint64 // reply flushes (one vectored write per coalesced run)
 	EpochAdvances      uint64 // global-epoch advances of a reclamation domain (internal/ebr)
 	NodesRecycled      uint64 // retired nodes returned to a free list after their grace period
 	FreelistHits       uint64 // node constructions served from a free list (no heap allocation)
@@ -67,6 +69,8 @@ const (
 	CtrConnRejected
 	CtrCmdsCoalesced
 	CtrCmdsSlow
+	CtrConnResp
+	CtrWireFlushes
 	CtrEpochAdvances
 	CtrNodesRecycled
 	CtrFreelistHits
@@ -96,6 +100,8 @@ var CounterNames = [NumCounters]string{
 	CtrConnRejected:       "conn_rejected",
 	CtrCmdsCoalesced:      "cmds_coalesced",
 	CtrCmdsSlow:           "cmds_slow",
+	CtrConnResp:           "conn_resp",
+	CtrWireFlushes:        "wire_flushes",
 	CtrEpochAdvances:      "ebr_epoch_advances",
 	CtrNodesRecycled:      "nodes_recycled",
 	CtrFreelistHits:       "freelist_hits",
@@ -126,6 +132,8 @@ func (s *OpStats) Vector() Vector {
 		CtrConnRejected:       s.ConnRejected,
 		CtrCmdsCoalesced:      s.CmdsCoalesced,
 		CtrCmdsSlow:           s.CmdsSlow,
+		CtrConnResp:           s.ConnResp,
+		CtrWireFlushes:        s.WireFlushes,
 		CtrEpochAdvances:      s.EpochAdvances,
 		CtrNodesRecycled:      s.NodesRecycled,
 		CtrFreelistHits:       s.FreelistHits,
@@ -153,6 +161,8 @@ func (s *OpStats) FromVector(v Vector) {
 	s.ConnRejected = v[CtrConnRejected]
 	s.CmdsCoalesced = v[CtrCmdsCoalesced]
 	s.CmdsSlow = v[CtrCmdsSlow]
+	s.ConnResp = v[CtrConnResp]
+	s.WireFlushes = v[CtrWireFlushes]
 	s.EpochAdvances = v[CtrEpochAdvances]
 	s.NodesRecycled = v[CtrNodesRecycled]
 	s.FreelistHits = v[CtrFreelistHits]

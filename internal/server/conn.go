@@ -18,34 +18,51 @@ import (
 
 // conn is one client connection. Two goroutines serve it:
 //
-//   - the reader parses request lines and coalesces every already-buffered
-//     run of pipelined commands into one work item, never blocking to wait
-//     for more commands than the client has already sent;
+//   - the reader detects the wire dialect (line protocol, or RESP2 when
+//     the first byte is '*'), parses requests, and coalesces every
+//     already-buffered run of pipelined commands into one work item,
+//     never blocking to wait for more commands than the client has
+//     already sent;
 //   - the writer (the goroutine that called serve) executes work items —
 //     turning same-verb stretches into one sorted batch call against the
-//     store — and writes responses back in request order.
+//     store — and writes responses back in request order, flushing each
+//     run with a single vectored write.
 //
 // The split is what makes pipelining pay: while the writer executes run k,
 // the reader is already parsing run k+1 off the socket.
+//
+// Steady-state operation allocates nothing: parsed entries live in run
+// slices recycled through the free channel, SET values intern into the
+// connection's chunk arena, batch scratch and the reply buffer are reused
+// across runs, and replies are assembled from interned literals.
 type conn struct {
 	srv *Server
 	nc  net.Conn
 	br  *bufio.Reader
-	bw  *bufio.Writer
 
 	runs     chan workRun
+	free     chan []entry // recycled run slices, writer -> reader
 	draining atomic.Bool
 
-	lineBuf []byte // reader-owned scratch, reused across readLine calls
+	// reader-owned parse state.
+	resp    bool       // wire dialect: RESP2 when true, line protocol otherwise
+	lineBuf []byte     // scratch reused across readLine calls
+	respBuf []byte     // scratch reused across RESP bulk reads
+	arena   valueArena // SET values intern here, handed on to the store
+
+	// writer-owned reply state.
+	rep *replySet   // interned reply literals for the connection's dialect
+	w   replyWriter // per-run reply buffer, flushed vectored
 
 	// writer-owned batch scratch, reused across coalesced runs: the sort
 	// permutation, its inverse, the sorted inputs, and the result slices.
-	ord   []int
-	ord2  []int
-	keys  []int
-	items []core.KV[int, string]
-	vals  []string
-	flags []bool
+	ord    []int
+	ord2   []int
+	keys   []int
+	items  []core.KV[int, string]
+	vals   []string
+	flags  []bool
+	rpairs []kvPair // RANGE result scratch
 
 	scratchNum [24]byte // integer-rendering scratch for responses
 
@@ -60,6 +77,13 @@ type conn struct {
 	queueWait int64
 	proc      core.Proc
 	procStats core.OpStats
+}
+
+// kvPair is one RANGE result, buffered so an oversized scan can fail
+// cleanly before any output is framed.
+type kvPair struct {
+	k int
+	v string
 }
 
 // pendUnit is one executed unit (point command or coalesced batch)
@@ -90,8 +114,12 @@ func newConn(s *Server, nc net.Conn) *conn {
 		srv:  s,
 		nc:   nc,
 		br:   bufio.NewReaderSize(nc, 8<<10),
-		bw:   bufio.NewWriterSize(nc, 8<<10),
 		runs: make(chan workRun, 4),
+		// Capacity covers every run slice that can be in flight at once —
+		// the runs buffer, one in the reader's hands, one in the writer's —
+		// so recycling sends never block and never drop in steady state.
+		free: make(chan []entry, 8),
+		rep:  &lineReplies,
 	}
 	c.proc.Stats = &c.procStats
 	return c
@@ -115,6 +143,7 @@ func (c *conn) serve() {
 		}
 		// After QUIT (or a dead transport) remaining runs are drained
 		// unanswered so the reader can never block on a full channel.
+		c.putEntries(r.entries)
 	}
 	c.flush()
 	c.nc.Close()
@@ -130,9 +159,12 @@ func (c *conn) startDrain() {
 
 // armReadDeadline sets the idle deadline for the next blocking read. The
 // re-check closes the race with startDrain: whichever order the two run
-// in, the connection ends up with the short drain deadline.
+// in, the connection ends up with the short drain deadline. A negative
+// ReadTimeout disables idle deadlines entirely (net.Pipe test transports
+// allocate per SetReadDeadline call, which would poison the allocation
+// pins); draining still arms its own deadline through startDrain.
 func (c *conn) armReadDeadline() {
-	if c.draining.Load() {
+	if c.draining.Load() || c.srv.cfg.ReadTimeout < 0 {
 		return
 	}
 	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
@@ -142,39 +174,32 @@ func (c *conn) armReadDeadline() {
 }
 
 // readLoop is the reader goroutine: block for one request, then absorb —
-// without blocking — every complete line the client has already pipelined,
-// up to MaxBatch, and hand the run to the writer.
+// without blocking — every complete request the client has already
+// pipelined, up to MaxBatch, and hand the run to the writer.
 func (c *conn) readLoop() {
 	defer close(c.runs)
+	if !c.detectDialect() {
+		return
+	}
 	for {
 		c.armReadDeadline()
-		line, err := c.readLine()
-		var run workRun
-		switch {
-		case err == nil:
-			run.entries = append(run.entries, parseEntry(line))
-		case errors.Is(err, ErrLineTooLong):
-			run.entries = append(run.entries, entry{err: err})
-		default:
+		e, err := c.readEntry()
+		if err != nil {
 			// Transport gone, idle timeout, or drain window closed: stop
 			// reading. Queued runs still get answers.
 			return
 		}
-		sawQuit := run.entries[0].err == nil && run.entries[0].cmd.Verb == VerbQuit
-		for !sawQuit && len(run.entries) < c.srv.cfg.MaxBatch && c.bufferedLine() {
-			line, err := c.readLine()
-			switch {
-			case err == nil:
-				e := parseEntry(line)
-				run.entries = append(run.entries, e)
-				sawQuit = e.err == nil && e.cmd.Verb == VerbQuit
-			case errors.Is(err, ErrLineTooLong):
-				run.entries = append(run.entries, entry{err: err})
-			default:
+		run := workRun{entries: append(c.getEntries(), e)}
+		sawQuit := e.err == nil && e.cmd.Verb == VerbQuit
+		for !sawQuit && len(run.entries) < c.srv.cfg.MaxBatch && c.bufferedEntry() {
+			e, err := c.readEntry()
+			if err != nil {
 				c.stampRun(&run)
 				c.runs <- run
 				return
 			}
+			run.entries = append(run.entries, e)
+			sawQuit = e.err == nil && e.cmd.Verb == VerbQuit
 		}
 		c.stampRun(&run)
 		c.runs <- run
@@ -184,9 +209,80 @@ func (c *conn) readLoop() {
 	}
 }
 
-func parseEntry(line []byte) entry {
-	cmd, err := ParseCommand(line)
-	return entry{cmd: cmd, err: err}
+// detectDialect peeks the connection's first byte without consuming it:
+// '*' can only open a RESP multibulk frame, anything else is the line
+// protocol (or a RESP inline command, which shares its grammar). The
+// choice is sticky for the connection's lifetime. Returns false when the
+// transport dies before the first byte.
+func (c *conn) detectDialect() bool {
+	c.armReadDeadline()
+	b, err := c.br.Peek(1)
+	if err != nil {
+		return false
+	}
+	if b[0] == '*' {
+		c.resp = true
+		c.rep = &respReplies
+		c.srv.addCounter(instrument.CtrConnResp, 1)
+	}
+	return true
+}
+
+// readEntry reads and parses one request in the connection's dialect. The
+// returned error is transport-fatal; per-request failures travel inside
+// the entry.
+func (c *conn) readEntry() (entry, error) {
+	if c.resp {
+		return c.readRespEntry()
+	}
+	return c.readLineEntry()
+}
+
+func (c *conn) readLineEntry() (entry, error) {
+	line, err := c.readLine()
+	switch {
+	case err == nil:
+		cmd, cerr := parseCommand(line, &c.arena)
+		return entry{cmd: cmd, err: cerr}, nil
+	case errors.Is(err, ErrLineTooLong):
+		return entry{err: err}, nil
+	default:
+		return entry{}, err
+	}
+}
+
+// getEntries fetches a recycled run slice, empty but with its capacity
+// intact, or nil when the free list is dry (cold start).
+func (c *conn) getEntries() []entry {
+	select {
+	case e := <-c.free:
+		return e
+	default:
+		return nil
+	}
+}
+
+// putEntries recycles a finished run's slice. Entries are cleared first so
+// a parked slice cannot pin value strings (and through them arena chunks)
+// past their run.
+func (c *conn) putEntries(e []entry) {
+	if cap(e) == 0 {
+		return
+	}
+	clear(e)
+	select {
+	case c.free <- e[:0]:
+	default:
+	}
+}
+
+// bufferedEntry reports whether a complete request is already sitting in
+// the read buffer, i.e. whether readEntry can run without blocking.
+func (c *conn) bufferedEntry() bool {
+	if c.resp {
+		return c.bufferedResp()
+	}
+	return c.bufferedLine()
 }
 
 // bufferedLine reports whether a complete request line is already sitting
@@ -364,9 +460,12 @@ func (c *conn) executeBatch(v Verb, e []entry) {
 	}
 	for i := 0; i < n; i++ {
 		m := pos[i]
-		if v == VerbGet {
+		switch v {
+		case VerbGet:
 			c.writeValue(c.vals[m], flags[m])
-		} else {
+		case VerbSet:
+			c.writeSetReply(flags[m])
+		default:
 			c.writeBool(flags[m])
 		}
 	}
@@ -401,12 +500,12 @@ func (c *conn) executeSingle(cmd Command) (quit bool) {
 	}
 	switch cmd.Verb {
 	case VerbPing:
-		c.writeLine("+PONG")
+		c.w.literal(c.rep.pong)
 	case VerbSet:
 		if attrib {
-			c.writeBool(c.srv.procStore.InsertProc(&c.proc, cmd.Key, cmd.Value))
+			c.writeSetReply(c.srv.procStore.InsertProc(&c.proc, cmd.Key, cmd.Value))
 		} else {
-			c.writeBool(c.srv.store.Insert(cmd.Key, cmd.Value))
+			c.writeSetReply(c.srv.store.Insert(cmd.Key, cmd.Value))
 		}
 	case VerbGet:
 		var v string
@@ -428,7 +527,7 @@ func (c *conn) executeSingle(cmd Command) (quit bool) {
 	case VerbRange:
 		c.executeRange(cmd.Key, cmd.Hi)
 	case VerbQuit:
-		c.writeLine("+OK")
+		c.w.literal(c.rep.ok)
 		quit = true
 	}
 	if obs != nil {
@@ -484,80 +583,129 @@ func (c *conn) finishObs(enq int64) {
 
 // executeRange collects [lo, hi) up to MaxRange pairs before writing
 // anything, so an oversized scan can fail cleanly with -ERR instead of a
-// truncated multi-line answer.
+// truncated multi-line answer. The pair buffer is connection scratch,
+// cleared after framing so parked capacity never pins store values.
 func (c *conn) executeRange(lo, hi int) {
-	type pair struct {
-		k int
-		v string
-	}
 	maxR := c.srv.cfg.MaxRange
-	pairs := make([]pair, 0, 16)
+	pairs := c.rpairs[:0]
 	over := false
 	c.srv.store.AscendRange(lo, hi, func(k int, v string) bool {
 		if len(pairs) >= maxR {
 			over = true
 			return false
 		}
-		pairs = append(pairs, pair{k, v})
+		pairs = append(pairs, kvPair{k, v})
 		return true
 	})
 	if over {
+		c.rpairs = pairs[:0]
 		c.writeErr(errors.New("range result exceeds " + strconv.Itoa(maxR) + " keys"))
 		return
 	}
-	c.bw.WriteByte('*')
-	c.bw.Write(strconv.AppendInt(c.numBuf(), int64(len(pairs)), 10))
-	c.bw.WriteByte('\n')
-	for _, p := range pairs {
-		c.bw.Write(strconv.AppendInt(c.numBuf(), int64(p.k), 10))
-		c.bw.WriteByte(' ')
-		c.bw.WriteString(p.v)
-		c.bw.WriteByte('\n')
+	if c.resp {
+		// Flat array of alternating key and value bulks, Redis-style.
+		c.w.writeByte('*')
+		c.w.appendInt(int64(2 * len(pairs)))
+		c.w.literal("\r\n")
+		for _, p := range pairs {
+			num := strconv.AppendInt(c.numBuf(), int64(p.k), 10)
+			c.w.writeByte('$')
+			c.w.appendInt(int64(len(num)))
+			c.w.literal("\r\n")
+			c.w.bytes(num)
+			c.w.literal("\r\n")
+			c.w.writeByte('$')
+			c.w.appendInt(int64(len(p.v)))
+			c.w.literal("\r\n")
+			c.w.value(p.v)
+			c.w.literal("\r\n")
+		}
+	} else {
+		c.w.writeByte('*')
+		c.w.appendInt(int64(len(pairs)))
+		c.w.literal("\n")
+		for _, p := range pairs {
+			c.w.appendInt(int64(p.k))
+			c.w.writeByte(' ')
+			c.w.value(p.v)
+			c.w.literal("\n")
+		}
 	}
+	clear(pairs)
+	c.rpairs = pairs[:0]
 }
 
 func (c *conn) numBuf() []byte { return c.scratchNum[:0] }
 
-func (c *conn) writeLine(s string) {
-	c.bw.WriteString(s)
-	c.bw.WriteByte('\n')
-}
-
+// writeBool answers a point command's success flag as :1/:0.
 func (c *conn) writeBool(ok bool) {
 	if ok {
-		c.writeLine(":1")
+		c.w.literal(c.rep.yes)
 	} else {
-		c.writeLine(":0")
+		c.w.literal(c.rep.no)
 	}
 }
 
+// writeSetReply answers a SET. The line protocol reports the insert flag
+// (:1 inserted, :0 duplicate); RESP answers +OK like Redis regardless —
+// RESP clients expect a status string, and values here are immutable
+// insert-if-absent, so +OK on a duplicate means "the key holds a value",
+// which is the contract RESP callers act on.
+func (c *conn) writeSetReply(ok bool) {
+	if c.resp {
+		c.w.literal(c.rep.ok)
+		return
+	}
+	c.writeBool(ok)
+}
+
 func (c *conn) writeInt(n int) {
-	c.bw.WriteByte(':')
-	c.bw.Write(strconv.AppendInt(c.numBuf(), int64(n), 10))
-	c.bw.WriteByte('\n')
+	c.w.writeByte(':')
+	c.w.appendInt(int64(n))
+	c.w.literal(c.rep.eol)
 }
 
 func (c *conn) writeValue(v string, ok bool) {
 	if !ok {
-		c.writeLine("_")
+		c.w.literal(c.rep.miss)
 		return
 	}
-	c.bw.WriteByte('$')
-	c.bw.WriteString(v)
-	c.bw.WriteByte('\n')
+	if c.resp {
+		c.w.writeByte('$')
+		c.w.appendInt(int64(len(v)))
+		c.w.literal("\r\n")
+		c.w.value(v)
+		c.w.literal("\r\n")
+		return
+	}
+	c.w.writeByte('$')
+	c.w.value(v)
+	c.w.literal("\n")
 }
 
 func (c *conn) writeErr(err error) {
-	c.bw.WriteString("-ERR ")
-	c.bw.WriteString(err.Error())
-	c.bw.WriteByte('\n')
+	c.w.literal(c.rep.errp)
+	c.w.literal(err.Error())
+	c.w.literal(c.rep.eol)
 }
 
-// flush pushes buffered responses to the client under the write deadline.
+// flush pushes the run's assembled replies to the client in one vectored
+// write under the write deadline. A negative WriteTimeout disables the
+// deadline (see armReadDeadline).
 func (c *conn) flush() error {
-	if c.bw.Buffered() == 0 {
+	n := c.w.buffered()
+	if n == 0 {
 		return nil
 	}
-	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-	return c.bw.Flush()
+	if c.srv.cfg.WriteTimeout >= 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	}
+	err := c.w.flush(c.nc)
+	if err == nil {
+		c.srv.addCounter(instrument.CtrWireFlushes, 1)
+		if c.srv.obs != nil {
+			c.srv.obs.recordFlush(int64(n))
+		}
+	}
+	return err
 }

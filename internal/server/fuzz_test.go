@@ -1,0 +1,63 @@
+package server
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/lockfree"
+)
+
+// FuzzRESP throws arbitrary bytes at a served connection. The invariant
+// is the protocol layer's prime directive: hostile or damaged input may
+// fail requests, but must never panic, hang the serving goroutines, or
+// keep the connection from tearing down. Replies are drained and
+// discarded; the interesting outcome is termination.
+//
+// Seeds cover both dialects and every malformed-frame class the RESP
+// reader distinguishes (testdata/fuzz/FuzzRESP holds the checked-in
+// corpus). Run longer with: go test -fuzz=FuzzRESP ./internal/server
+func FuzzRESP(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$2\r\n42\r\n$5\r\nhello\r\n*2\r\n$3\r\nGET\r\n$2\r\n42\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$16\r\nkey:000000000042\r\n"))
+	f.Add([]byte("*x\r\n*0\r\n*99999999\r\n"))
+	f.Add([]byte("*1\r\nPING\r\n$5\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$-1\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPINGab*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$999\r\n"))
+	f.Add([]byte("GET 42\nSET 1 v\nRANGE 0 10\nnot a command\n"))
+	f.Add([]byte("*3\r\n$6\r\nCONFIG\r\n$3\r\nGET\r\n$4\r\nsave\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nQUIT\r\n*1\r\n$4\r\nPING\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(Config{
+			// Tight limits so oversized-input paths are reachable with
+			// small fuzz inputs; a short idle timeout bounds a truncated
+			// frame's blocking read.
+			ReadTimeout:  100 * time.Millisecond,
+			DrainGrace:   time.Millisecond,
+			MaxLineBytes: 256,
+			MaxBatch:     8,
+			MaxRange:     8,
+		}, lockfree.NewSkipList[int, string]())
+		cl, se := net.Pipe()
+		served := make(chan struct{})
+		go func() {
+			srv.ServeConn(se)
+			close(served)
+		}()
+		go io.Copy(io.Discard, cl) // drain whatever the server answers
+
+		// A partial write is fine: the server may have quit mid-stream.
+		cl.Write(data)
+		cl.Close()
+
+		select {
+		case <-served:
+		case <-time.After(5 * time.Second):
+			t.Fatal("serving goroutine failed to terminate on hostile input")
+		}
+	})
+}

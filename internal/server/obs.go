@@ -37,6 +37,7 @@ type Obs struct {
 	lat   [NumVerbs][NumBatchClasses]instrument.Hist
 	batch [NumVerbs]instrument.Hist
 	queue instrument.Hist
+	flush instrument.Hist
 }
 
 // ObsConfig bounds an Obs. The zero value is usable: every field falls
@@ -130,6 +131,12 @@ func (o *Obs) recordBatch(v Verb, n int) { o.batch[v].Record(int64(n)) }
 // recordQueueWait records one run's reader-to-writer hand-off wait.
 func (o *Obs) recordQueueWait(nanos int64) { o.queue.Record(nanos) }
 
+// recordFlush records the byte size of one vectored reply flush — the
+// payoff histogram of write coalescing: a healthy pipelined workload
+// shows flushes many replies wide, an interactive one hovers near a
+// single reply's size.
+func (o *Obs) recordFlush(bytes int64) { o.flush.Record(bytes) }
+
 // VerbLatency returns the latency snapshot of one verb, merged across
 // batch-size classes.
 func (o *Obs) VerbLatency(v Verb) instrument.HistSnapshot {
@@ -142,6 +149,9 @@ func (o *Obs) VerbLatency(v Verb) instrument.HistSnapshot {
 
 // QueueWait returns the queue-wait snapshot.
 func (o *Obs) QueueWait() instrument.HistSnapshot { return o.queue.Snapshot() }
+
+// FlushBytes returns the reply-flush size snapshot.
+func (o *Obs) FlushBytes() instrument.HistSnapshot { return o.flush.Snapshot() }
 
 // TraceSnapshot returns up to max of the newest trace records (0 = all
 // retained), newest first.
@@ -187,6 +197,12 @@ func (o *Obs) WritePrometheus(w io.Writer) error {
 	ew.writeString("# TYPE lockfree_server_queue_wait_seconds histogram\n")
 	if s := o.queue.Snapshot(); s.Count > 0 {
 		writeHistSeries(ew, "lockfree_server_queue_wait_seconds", "{", s, bounds[:], true)
+	}
+
+	ew.writeString("# HELP lockfree_server_flush_bytes Reply bytes per vectored flush (one flush per coalesced run).\n")
+	ew.writeString("# TYPE lockfree_server_flush_bytes histogram\n")
+	if s := o.flush.Snapshot(); s.Count > 0 {
+		writeHistSeries(ew, "lockfree_server_flush_bytes", "{", s, bounds[:], false)
 	}
 
 	ew.writeString("# HELP lockfree_server_trace_records_total Operation trace records written to the sampling ring.\n")

@@ -1,12 +1,15 @@
 // Package server exposes a lock-free ordered key-value store over TCP
-// through a small RESP-like line protocol. It is the serving layer of the
-// repository: many connections concurrently drive one structure, and each
-// connection's pipelined command runs are coalesced into the sorted batch
-// operations, so the clustered-access amortization of DESIGN.md Sections 8
-// and 9 applies to network traffic, not just in-process callers.
+// through two wire dialects sharing one command set: a small line protocol
+// and RESP2 (the Redis serialization protocol, see resp.go), auto-detected
+// from the first byte a connection sends ('*' selects RESP). It is the
+// serving layer of the repository: many connections concurrently drive one
+// structure, and each connection's pipelined command runs are coalesced
+// into the sorted batch operations, so the clustered-access amortization
+// of DESIGN.md Sections 8 and 9 applies to network traffic, not just
+// in-process callers.
 //
-// Requests are single lines, terminated by '\n' (a preceding '\r' is
-// stripped), fields separated by single spaces:
+// Line-protocol requests are single lines, terminated by '\n' (a preceding
+// '\r' is stripped), fields separated by single spaces:
 //
 //	PING                 liveness probe
 //	SET <key> <value>    insert-if-absent; values are immutable once stored
@@ -23,12 +26,17 @@
 // lines "<key> <value>" for RANGE. Malformed or oversized input fails the
 // request — the connection answers -ERR and keeps serving — never the
 // process; only a broken transport closes a connection early.
+//
+// The wire hot path is allocation-free: SET values are interned into a
+// per-connection chunk arena (wire.go), parse scratch and batch slices are
+// recycled across runs, replies are assembled from interned literals into
+// a recycled buffer, and each run flushes with a single vectored write.
 package server
 
 import (
 	"errors"
 	"fmt"
-	"strconv"
+	"strings"
 
 	"bytes"
 )
@@ -122,6 +130,13 @@ var ErrLineTooLong = errors.New("request line exceeds the configured maximum")
 // error is a client-facing message — the caller renders it as "-ERR <msg>"
 // — and never fatal to the connection.
 func ParseCommand(line []byte) (Command, error) {
+	return parseCommand(line, nil)
+}
+
+// parseCommand is ParseCommand with an optional value arena: when a is
+// non-nil, a SET value is interned into it instead of allocating a fresh
+// string, which is what makes the steady-state wire path allocation-free.
+func parseCommand(line []byte, a *valueArena) (Command, error) {
 	if n := len(line); n > 0 && line[n-1] == '\r' {
 		line = line[:n-1]
 	}
@@ -185,7 +200,7 @@ func ParseCommand(line []byte) (Command, error) {
 		if err != nil {
 			return Command{}, err
 		}
-		return Command{Verb: VerbSet, Key: k, Value: string(val)}, nil
+		return Command{Verb: VerbSet, Key: k, Value: internValue(val, a)}, nil
 
 	default: // VerbRange
 		loTok, rest2 := splitField(rest)
@@ -216,25 +231,85 @@ func splitField(b []byte) (field, rest []byte) {
 	return b, nil
 }
 
-// parseKey parses a signed decimal 64-bit key.
+// parseKey parses a signed decimal 64-bit key. It allocates only on the
+// error path: strconv.ParseInt would escape string(tok) into its *NumError
+// and so cost one allocation per key even on success.
 func parseKey(tok []byte) (int, error) {
-	k, err := strconv.ParseInt(string(tok), 10, 64)
-	if err != nil {
+	k, ok := parseWireInt(tok)
+	if !ok {
 		return 0, fmt.Errorf("key %q is not a signed 64-bit integer", clip(tok))
 	}
 	return int(k), nil
 }
 
+// parseWireInt parses a signed decimal 64-bit integer without allocating.
+// It accepts exactly what strconv.ParseInt(s, 10, 64) accepts, except that
+// near-boundary 19-digit overflow is rejected by the length cap a digit
+// early (19 decimal digits always fit in uint64, so no per-digit overflow
+// check is needed; |MinInt64| has 19 digits and is still representable).
+func parseWireInt(tok []byte) (int64, bool) {
+	i := 0
+	neg := false
+	if len(tok) > 0 && (tok[0] == '-' || tok[0] == '+') {
+		neg = tok[0] == '-'
+		i = 1
+	}
+	if i == len(tok) || len(tok)-i > 19 {
+		return 0, false
+	}
+	var n uint64
+	for ; i < len(tok); i++ {
+		d := tok[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		n = n*10 + uint64(d)
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		// n == 1<<63: int64(n) is already MinInt64 and negation is a
+		// self-inverse wrap, so -int64(n) is MinInt64 as required.
+		return -int64(n), true
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+// arityErrs interns the per-verb wrong-arity errors: malformed pipelined
+// floods should not make the server format an error string per request.
+var arityErrs = [NumVerbs]error{
+	VerbInvalid: errors.New(`wrong number of arguments for "INVALID"`),
+	VerbPing:    errors.New(`wrong number of arguments for "PING"`),
+	VerbSet:     errors.New(`wrong number of arguments for "SET"`),
+	VerbGet:     errors.New(`wrong number of arguments for "GET"`),
+	VerbDel:     errors.New(`wrong number of arguments for "DEL"`),
+	VerbRange:   errors.New(`wrong number of arguments for "RANGE"`),
+	VerbLen:     errors.New(`wrong number of arguments for "LEN"`),
+	VerbQuit:    errors.New(`wrong number of arguments for "QUIT"`),
+}
+
 func arityErr(v Verb) error {
-	return fmt.Errorf("wrong number of arguments for %q", v.String())
+	if int(v) < NumVerbs {
+		return arityErrs[v]
+	}
+	return arityErrs[VerbInvalid]
 }
 
 // clip bounds a token echoed back in an error message so a hostile line
-// cannot inflate the response.
+// cannot inflate the response. One allocation: the truncated copy and its
+// ellipsis are assembled in a single pre-sized builder.
 func clip(tok []byte) string {
 	const max = 32
 	if len(tok) > max {
-		return string(tok[:max]) + "..."
+		var b strings.Builder
+		b.Grow(max + 3)
+		b.Write(tok[:max])
+		b.WriteString("...")
+		return b.String()
 	}
 	return string(tok)
 }

@@ -1,0 +1,312 @@
+// resp.go implements the RESP2 side of the wire: the Redis serialization
+// protocol's multibulk request frames ("*<n>\r\n" then n bulk strings
+// "$<len>\r\n<payload>\r\n"), selected per connection when the first byte
+// received is '*'. The command set is the same as the line protocol's,
+// under Redis spellings where they exist: PING/SET/GET/DEL, DBSIZE for
+// LEN, and RANGE as a custom command. Replies use RESP framing: "+OK",
+// ":<n>", "$<len>" bulks, "$-1" for a miss, "-ERR <msg>", and a flat
+// "*<2n>" array of key/value bulks for RANGE. Like the line protocol,
+// malformed frames fail the request, never the process; only a broken
+// transport (or a frame so damaged the stream cannot stay in sync) closes
+// the connection.
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxRespArgs bounds one RESP command's argument count. The widest real
+// command takes three; the slack tolerates clients probing with optional
+// flags (e.g. redis-benchmark's "SET key val EX 60"-style variants) while
+// still refusing a hostile million-arg header outright.
+const maxRespArgs = 16
+
+// maxRespDiscard bounds how large a declared bulk the server will read
+// and discard to keep the stream in sync after rejecting a request (for
+// example a value above MaxLineBytes, or arguments of an unknown
+// command). Beyond it the frame is treated as hostile and the stream is
+// allowed to desynchronize.
+const maxRespDiscard = 8 << 20
+
+// Interned RESP protocol errors, phrased like Redis's own so existing
+// client error handling matches.
+var (
+	errRespArrayHeader = errors.New("protocol error: invalid multibulk length")
+	errRespBulkHeader  = errors.New("protocol error: invalid bulk length")
+	errRespBulkTrailer = errors.New("protocol error: expected CRLF after bulk payload")
+	errRespTooManyArgs = errors.New("protocol error: too many arguments")
+	errRespBulkTooLong = errors.New("protocol error: bulk length exceeds the configured maximum")
+)
+
+// readRespEntry reads one request from a RESP connection. A '*' opens a
+// multibulk frame; anything else is handled as a Redis "inline command",
+// which shares the line protocol's grammar. The returned error is
+// transport-fatal; per-request failures travel inside the entry.
+func (c *conn) readRespEntry() (entry, error) {
+	b, err := c.br.Peek(1)
+	if err != nil {
+		return entry{}, err
+	}
+	if b[0] != '*' {
+		return c.readLineEntry()
+	}
+	line, err := c.readLine()
+	if err != nil {
+		if errors.Is(err, ErrLineTooLong) {
+			return entry{err: err}, nil
+		}
+		return entry{}, err
+	}
+	line = trimCR(line)
+	n, ok := parseWireInt(line[1:])
+	if !ok || n < 1 {
+		return entry{err: errRespArrayHeader}, nil
+	}
+	if n > maxRespArgs {
+		return entry{err: errRespTooManyArgs}, nil
+	}
+	return c.readRespCommand(int(n))
+}
+
+// readRespCommand reads the n bulk arguments of one multibulk frame and
+// parses them into an entry. Rejected commands (unknown verb, wrong
+// arity, bad key) still consume their declared bulks so the stream stays
+// in sync and only the offending request fails.
+func (c *conn) readRespCommand(n int) (entry, error) {
+	verbTok, reqErr, fatal := c.readBulk()
+	if fatal != nil || reqErr != nil {
+		return entry{err: reqErr}, fatal
+	}
+	var verb Verb
+	switch {
+	case asciiEqualFold(verbTok, "GET"):
+		verb = VerbGet
+	case asciiEqualFold(verbTok, "SET"):
+		verb = VerbSet
+	case asciiEqualFold(verbTok, "DEL"):
+		verb = VerbDel
+	case asciiEqualFold(verbTok, "PING"):
+		verb = VerbPing
+	case asciiEqualFold(verbTok, "DBSIZE"), asciiEqualFold(verbTok, "LEN"):
+		verb = VerbLen
+	case asciiEqualFold(verbTok, "RANGE"):
+		verb = VerbRange
+	case asciiEqualFold(verbTok, "QUIT"):
+		verb = VerbQuit
+	default:
+		// Unknown commands (redis-cli opens with COMMAND DOCS, benchmarks
+		// probe CONFIG GET) answer -ERR like Redis does for unsupported
+		// ones, after consuming their arguments.
+		err := fmt.Errorf("unknown command %q", clip(verbTok))
+		return entry{err: err}, c.discardBulks(n - 1)
+	}
+	want := 1
+	switch verb {
+	case VerbGet, VerbDel:
+		want = 2
+	case VerbSet, VerbRange:
+		want = 3
+	}
+	if n < want {
+		return entry{err: arityErr(verb)}, c.discardBulks(n - 1)
+	}
+	if n > want && verb != VerbSet {
+		// Extra arguments on non-SET commands are an arity error; SET
+		// tolerates and ignores trailing options (EX/NX and friends from
+		// standard benchmark drivers) since values here are immutable
+		// insert-if-absent anyway.
+		return entry{err: arityErr(verb)}, c.discardBulks(n - 1)
+	}
+
+	switch verb {
+	case VerbGet, VerbDel:
+		k, reqErr, fatal := c.readRespKey()
+		if fatal != nil || reqErr != nil {
+			return entry{err: reqErr}, fatal
+		}
+		return entry{cmd: Command{Verb: verb, Key: k}}, nil
+
+	case VerbSet:
+		k, reqErr, fatal := c.readRespKey()
+		if fatal != nil || reqErr != nil {
+			return entry{err: reqErr}, fatal
+		}
+		val, reqErr, fatal := c.readBulk()
+		if fatal != nil || reqErr != nil {
+			return entry{err: reqErr}, fatal
+		}
+		if len(val) == 0 {
+			return entry{err: arityErr(VerbSet)}, c.discardBulks(n - 3)
+		}
+		v := c.arena.intern(val)
+		if err := c.discardBulks(n - 3); err != nil {
+			return entry{}, err
+		}
+		return entry{cmd: Command{Verb: VerbSet, Key: k, Value: v}}, nil
+
+	case VerbRange:
+		lo, reqErr, fatal := c.readRespKey()
+		if fatal != nil || reqErr != nil {
+			return entry{err: reqErr}, fatal
+		}
+		hi, reqErr, fatal := c.readRespKey()
+		if fatal != nil || reqErr != nil {
+			return entry{err: reqErr}, fatal
+		}
+		return entry{cmd: Command{Verb: VerbRange, Key: lo, Hi: hi}}, nil
+
+	default: // PING, LEN/DBSIZE, QUIT
+		return entry{cmd: Command{Verb: verb}}, nil
+	}
+}
+
+// readBulk reads one "$<len>\r\n<payload>\r\n" frame. The payload is a
+// view of c.respBuf, valid only until the next readBulk on this
+// connection. reqErr is a client-facing per-request failure; fatal tears
+// the connection down. A declared length above MaxLineBytes is consumed
+// and rejected so the stream stays in sync.
+func (c *conn) readBulk() (payload []byte, reqErr, fatal error) {
+	line, err := c.readLine()
+	if err != nil {
+		if errors.Is(err, ErrLineTooLong) {
+			return nil, ErrLineTooLong, nil
+		}
+		return nil, nil, err
+	}
+	line = trimCR(line)
+	if len(line) == 0 || line[0] != '$' {
+		return nil, errRespBulkHeader, nil
+	}
+	l, ok := parseWireInt(line[1:])
+	if !ok || l < 0 || l > maxRespDiscard {
+		return nil, errRespBulkHeader, nil
+	}
+	if int(l) > c.srv.cfg.MaxLineBytes {
+		if err := c.discardPayload(int(l) + 2); err != nil {
+			return nil, nil, err
+		}
+		return nil, errRespBulkTooLong, nil
+	}
+	need := int(l) + 2
+	if cap(c.respBuf) < need {
+		c.respBuf = make([]byte, need)
+	}
+	buf := c.respBuf[:need]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, nil, err
+	}
+	if buf[need-2] != '\r' || buf[need-1] != '\n' {
+		return nil, errRespBulkTrailer, nil
+	}
+	return buf[:l], nil, nil
+}
+
+// readRespKey reads one bulk and parses it as a key. Beyond the strict
+// signed-decimal grammar, a token with a trailing run of digits (the
+// "key:000000000042" shape every Redis benchmark driver generates) maps
+// to the integer spelled by that run, so redis-benchmark and
+// memtier_benchmark drive the integer-keyed store unmodified. The line
+// protocol deliberately does not get this mapping: its strict grammar is
+// a documented, tested contract.
+func (c *conn) readRespKey() (key int, reqErr, fatal error) {
+	tok, reqErr, fatal := c.readBulk()
+	if fatal != nil || reqErr != nil {
+		return 0, reqErr, fatal
+	}
+	if k, ok := parseWireInt(tok); ok {
+		return int(k), nil, nil
+	}
+	i := len(tok)
+	for i > 0 && tok[i-1] >= '0' && tok[i-1] <= '9' {
+		i--
+	}
+	if i == len(tok) {
+		return 0, fmt.Errorf("key %q is not a signed 64-bit integer", clip(tok)), nil
+	}
+	digits := tok[i:]
+	if len(digits) > 18 {
+		digits = digits[len(digits)-18:]
+	}
+	k, _ := parseWireInt(digits)
+	return int(k), nil, nil
+}
+
+// discardBulks consumes k remaining bulk frames of an already-rejected
+// command. Bulk-level errors are swallowed — the request already has its
+// error — but a malformed header means the sync point is lost and
+// discarding must stop.
+func (c *conn) discardBulks(k int) error {
+	for ; k > 0; k-- {
+		_, reqErr, fatal := c.readBulk()
+		if fatal != nil {
+			return fatal
+		}
+		if reqErr != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// discardPayload reads and drops exactly n bytes.
+func (c *conn) discardPayload(n int) error {
+	_, err := c.br.Discard(n)
+	return err
+}
+
+// trimCR strips one trailing '\r'.
+func trimCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
+// bufferedResp reports whether the reader's buffer holds at least one
+// complete RESP request, so the coalescer can keep extending a run
+// without ever blocking. Like bufferedLine it is conservative only about
+// blocking: a frame judged malformed counts as complete, because the
+// parser will fail it from buffered bytes without waiting. Inline (non-
+// '*') input falls back to the complete-line check.
+func (c *conn) bufferedResp() bool {
+	buf, _ := c.br.Peek(c.br.Buffered())
+	if len(buf) == 0 {
+		return false
+	}
+	if buf[0] != '*' {
+		return bytes.IndexByte(buf, '\n') >= 0
+	}
+	pos := 0
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return len(buf) >= c.srv.cfg.MaxLineBytes // oversized header fails without blocking
+	}
+	n, ok := parseWireInt(trimCR(buf[1:nl]))
+	if !ok || n < 1 || n > maxRespArgs {
+		return true // header malformed: parser fails it immediately
+	}
+	pos = nl + 1
+	for arg := int64(0); arg < n; arg++ {
+		rest := buf[pos:]
+		j := bytes.IndexByte(rest, '\n')
+		if j < 0 {
+			return len(rest) >= c.srv.cfg.MaxLineBytes
+		}
+		hdr := trimCR(rest[:j])
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return true // parser rejects and resyncs from here
+		}
+		l, ok := parseWireInt(hdr[1:])
+		if !ok || l < 0 || l > maxRespDiscard {
+			return true
+		}
+		pos += j + 1 + int(l) + 2
+		if pos > len(buf) {
+			return false // payload still in flight
+		}
+	}
+	return true
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/lockfree"
+)
+
+// respCmd renders one RESP2 multibulk frame.
+func respCmd(args ...string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+	}
+	return b.String()
+}
+
+// mustReadCRLF reads one reply line and strips its CRLF terminator.
+func mustReadCRLF(t *testing.T, br interface{ ReadString(byte) (string, error) }) string {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading RESP reply: %v", err)
+	}
+	return strings.TrimSuffix(line, "\r\n")
+}
+
+// TestRespPointCommands drives the whole RESP command set over TCP —
+// auto-detection from the first '*', Redis reply shapes, DBSIZE and LEN
+// as aliases, and QUIT closing the connection.
+func TestRespPointCommands(t *testing.T) {
+	rec := telemetry.NewRecorder(1)
+	srv := startTCP(t, Config{}, lockfree.NewSkipList[int, string](), rec)
+	nc, br := dial(t, srv)
+
+	send := func(s string) {
+		t.Helper()
+		if _, err := nc.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want string) {
+		t.Helper()
+		if got := mustReadCRLF(t, br); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+
+	send(respCmd("PING"))
+	expect("+PONG")
+	send(respCmd("SET", "10", "alpha"))
+	expect("+OK")
+	send(respCmd("SET", "10", "beta")) // duplicate: still +OK in RESP (insert-if-absent)
+	expect("+OK")
+	send(respCmd("GET", "10"))
+	expect("$5")
+	expect("alpha")
+	send(respCmd("GET", "11"))
+	expect("$-1")
+	send(respCmd("DBSIZE"))
+	expect(":1")
+	send(respCmd("LEN"))
+	expect(":1")
+	send(respCmd("SET", "20", "twenty"))
+	expect("+OK")
+	send(respCmd("RANGE", "0", "100"))
+	expect("*4")
+	expect("$2")
+	expect("10")
+	expect("$5")
+	expect("alpha")
+	expect("$2")
+	expect("20")
+	expect("$6")
+	expect("twenty")
+	send(respCmd("DEL", "10"))
+	expect(":1")
+	send(respCmd("DEL", "10"))
+	expect(":0")
+
+	if got := rec.Snapshot().Counters.ConnResp; got != 1 {
+		t.Fatalf("conn_resp = %d, want 1", got)
+	}
+
+	send(respCmd("QUIT"))
+	expect("+OK")
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+// TestRespInlineAfterDetect: the dialect choice is sticky, and a RESP
+// connection still accepts Redis inline commands (bare lines), which is
+// how redis-benchmark's ping_inline mode talks.
+func TestRespInlineAfterDetect(t *testing.T) {
+	srv := startTCP(t, Config{}, lockfree.NewSkipList[int, string](), nil)
+	nc, br := dial(t, srv)
+
+	if _, err := nc.Write([]byte(respCmd("PING") + "PING\r\nGET 7\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"+PONG", "+PONG", "$-1"} {
+		if got := mustReadCRLF(t, br); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+// TestRespCoalescing is the coalescer contract through the RESP codec: a
+// pipelined run of same-verb frames written in one piece still becomes
+// exactly one sorted batch call, with replies in request order.
+func TestRespCoalescing(t *testing.T) {
+	const n = 16
+	cs := &countingStore{Store: lockfree.NewSkipList[int, string]()}
+	srv := New(Config{MaxBatch: 64}, cs)
+	cl, br := pipeConn(t, srv)
+
+	var req strings.Builder
+	for i := 0; i < n; i++ { // descending keys: proves the inverse permutation
+		req.WriteString(respCmd("SET", fmt.Sprint(n-i), fmt.Sprintf("v%d", n-i)))
+	}
+	if _, err := cl.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := mustReadCRLF(t, br); got != "+OK" {
+			t.Fatalf("SET reply %d = %q, want +OK", i, got)
+		}
+	}
+	if got := cs.insertBatch.Load(); got != 1 {
+		t.Fatalf("InsertBatch calls = %d, want exactly 1", got)
+	}
+	if got := cs.insert.Load(); got != 0 {
+		t.Fatalf("point Insert calls = %d, want 0", got)
+	}
+
+	req.Reset()
+	for i := n; i >= 1; i-- {
+		req.WriteString(respCmd("GET", fmt.Sprint(i)))
+	}
+	if _, err := cl.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := n; i >= 1; i-- {
+		want := fmt.Sprintf("v%d", i)
+		if got := mustReadCRLF(t, br); got != fmt.Sprintf("$%d", len(want)) {
+			t.Fatalf("GET %d header = %q", i, got)
+		}
+		if got := mustReadCRLF(t, br); got != want {
+			t.Fatalf("GET %d = %q, want %q", i, got, want)
+		}
+	}
+	if got := cs.getBatch.Load(); got != 1 {
+		t.Fatalf("GetBatch calls = %d, want exactly 1", got)
+	}
+}
+
+// TestRespMalformedFrames: every malformed frame fails its own request
+// with -ERR and leaves the connection serving — proven by a sentinel PING
+// answered after each. Mirrors the line protocol's overlong-line test.
+func TestRespMalformedFrames(t *testing.T) {
+	sentinel := respCmd("PING")
+	cases := []struct {
+		name  string
+		frame string
+		errs  int // -ERR replies expected before the sentinel's +PONG
+	}{
+		{"bad array length", "*x\r\n", 1},
+		{"zero array length", "*0\r\n", 1},
+		{"huge array length", "*1000000\r\n", 1},
+		{"missing bulk header", "*1\r\nPING\r\n", 1},
+		{"bad bulk length", "*2\r\n$3\r\nGET\r\n$99999999999999999999\r\n", 1},
+		{"negative bulk length", "*2\r\n$3\r\nGET\r\n$-4\r\n", 1},
+		{"overlong bulk", "*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$200\r\n" + strings.Repeat("x", 200) + "\r\n", 1},
+		{"bulk trailer violation", "*1\r\n$4\r\nPINGab", 1},
+		{"unknown command", respCmd("CONFIG", "GET", "save"), 1},
+		{"wrong arity", respCmd("GET", "1", "2"), 1},
+		{"non-integer key", respCmd("GET", "abc"), 1},
+		{"range arity", respCmd("RANGE", "1"), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := New(Config{MaxLineBytes: 128}, lockfree.NewSkipList[int, string]())
+			cl, br := pipeConn(t, srv)
+			// First frame is well-formed so the dialect latches to RESP
+			// before the hostile bytes arrive.
+			if _, err := cl.Write([]byte(sentinel + tc.frame + sentinel)); err != nil {
+				t.Fatal(err)
+			}
+			if got := mustReadCRLF(t, br); got != "+PONG" {
+				t.Fatalf("prologue = %q, want +PONG", got)
+			}
+			for i := 0; i < tc.errs; i++ {
+				got := mustReadCRLF(t, br)
+				if !strings.HasPrefix(got, "-ERR ") {
+					t.Fatalf("reply %d = %q, want -ERR prefix", i, got)
+				}
+			}
+			if got := mustReadCRLF(t, br); got != "+PONG" {
+				t.Fatalf("sentinel after %s = %q, want +PONG (connection must survive)", tc.name, got)
+			}
+		})
+	}
+}
+
+// TestRespBenchmarkTraffic simulates the exact frame shapes redis-cli and
+// redis-benchmark emit: "key:000000000042"-style keys map to the integer
+// spelled by their trailing digit run, SET tolerates trailing options,
+// and probe commands fail politely without desyncing the stream.
+func TestRespBenchmarkTraffic(t *testing.T) {
+	srv := startTCP(t, Config{}, lockfree.NewSkipList[int, string](), nil)
+	nc, br := dial(t, srv)
+
+	expect := func(want string) {
+		t.Helper()
+		if got := mustReadCRLF(t, br); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+
+	// redis-cli opens with COMMAND DOCS; redis-benchmark probes CONFIG GET.
+	if _, err := nc.Write([]byte(respCmd("COMMAND", "DOCS"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadCRLF(t, br); !strings.HasPrefix(got, "-ERR unknown command") {
+		t.Fatalf("COMMAND DOCS = %q, want -ERR unknown command", got)
+	}
+	nc.Write([]byte(respCmd("CONFIG", "GET", "save")))
+	if got := mustReadCRLF(t, br); !strings.HasPrefix(got, "-ERR unknown command") {
+		t.Fatalf("CONFIG GET = %q, want -ERR unknown command", got)
+	}
+
+	nc.Write([]byte(respCmd("SET", "key:000000000042", "VXK", "EX", "60")))
+	expect("+OK")
+	nc.Write([]byte(respCmd("GET", "key:000000000042")))
+	expect("$3")
+	expect("VXK")
+	nc.Write([]byte(respCmd("GET", "42"))) // trailing-run mapping hits the same key
+	expect("$3")
+	expect("VXK")
+	nc.Write([]byte(respCmd("DEL", "key:000000000042")))
+	expect(":1")
+
+	// The line protocol keeps its strict grammar: the mapping is RESP-only.
+	nc2, br2 := dial(t, srv)
+	if _, err := nc2.Write([]byte("GET key:000000000042\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadLine(t, br2); !strings.HasPrefix(got, "-ERR key") {
+		t.Fatalf("line-protocol compat key = %q, want -ERR key ...", got)
+	}
+}
+
+// TestRespBigValues pushes values across the writev splice threshold so
+// GET and RANGE replies mix copied framing with referenced value iovecs,
+// over real TCP where net.Buffers actually vectorizes.
+func TestRespBigValues(t *testing.T) {
+	srv := startTCP(t, Config{}, lockfree.NewSkipList[int, string](), nil)
+	nc, br := dial(t, srv)
+
+	big1 := strings.Repeat("a", 4*bigValueBytes)
+	big2 := strings.Repeat("b", bigValueBytes)
+	small := "tiny"
+
+	expect := func(want string) {
+		t.Helper()
+		if got := mustReadCRLF(t, br); got != want {
+			if len(got) > 64 {
+				got = got[:64] + "..."
+			}
+			t.Fatalf("got %q, want %q-ish", got, want[:min(len(want), 64)])
+		}
+	}
+
+	nc.Write([]byte(respCmd("SET", "1", big1)))
+	expect("+OK")
+	nc.Write([]byte(respCmd("SET", "2", small)))
+	expect("+OK")
+	nc.Write([]byte(respCmd("SET", "3", big2)))
+	expect("+OK")
+
+	nc.Write([]byte(respCmd("GET", "1")))
+	expect(fmt.Sprintf("$%d", len(big1)))
+	expect(big1)
+
+	nc.Write([]byte(respCmd("RANGE", "0", "10")))
+	expect("*6")
+	expect("$1")
+	expect("1")
+	expect(fmt.Sprintf("$%d", len(big1)))
+	expect(big1)
+	expect("$1")
+	expect("2")
+	expect("$4")
+	expect(small)
+	expect("$1")
+	expect("3")
+	expect(fmt.Sprintf("$%d", len(big2)))
+	expect(big2)
+}

@@ -56,12 +56,17 @@ type Config struct {
 	// are shed at accept time with "-ERR server busy" (default 1024).
 	MaxConns int
 	// ReadTimeout bounds how long a connection may sit idle between
-	// requests; an idle connection is closed (default 5m).
+	// requests; an idle connection is closed (default 5m). A negative
+	// value disables the idle deadline entirely — benchmark transports
+	// like net.Pipe allocate per deadline arm, which would poison the
+	// wire path's allocation accounting.
 	ReadTimeout time.Duration
-	// WriteTimeout bounds each response flush (default 10s).
+	// WriteTimeout bounds each response flush (default 10s). Negative
+	// disables the write deadline, as for ReadTimeout.
 	WriteTimeout time.Duration
-	// MaxLineBytes bounds one request line. An overlong line is discarded
-	// and answered -ERR; the connection keeps serving (default 64 KiB).
+	// MaxLineBytes bounds one request line, and one RESP bulk payload. An
+	// overlong request is discarded and answered -ERR; the connection
+	// keeps serving (default 64 KiB).
 	MaxLineBytes int
 	// MaxBatch caps how many pipelined commands one coalesced run may
 	// absorb (default 256).
@@ -82,10 +87,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxConns <= 0 {
 		c.MaxConns = 1024
 	}
-	if c.ReadTimeout <= 0 {
+	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 5 * time.Minute
 	}
-	if c.WriteTimeout <= 0 {
+	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
 	if c.MaxLineBytes <= 0 {
@@ -103,8 +108,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves the line protocol over TCP. Construct with New; a Server
-// serves one Store and may not be reused after Shutdown.
+// Server serves the wire protocols (line and RESP2, auto-detected per
+// connection) over TCP. Construct with New; a Server serves one Store and
+// may not be reused after Shutdown.
 type Server struct {
 	cfg       Config
 	store     Store

@@ -19,6 +19,21 @@ import (
 // the intended trade for sampled observability.
 type Proc = core.Proc
 
+// Value hand-off contract: Insert and InsertBatch retain the value
+// exactly as passed — no copy is taken, on insertion or ever after, and
+// Get/GetBatch return the same value header. For reference-backed V
+// (strings, slices) this means the backing bytes are shared with the
+// structure for as long as the key may be observed, including through
+// delete/re-insert races where a concurrent reader can still return the
+// old node's value. Callers owning reusable buffers must therefore hand
+// over immutable bytes: a string view of an append-only arena qualifies
+// (the serving layer's parse arena relies on this — one allocation's
+// chunk backs many inserted values); a []byte the caller will rewrite
+// does not. The flip side is what makes the zero-allocation wire path
+// possible: values read back can be written to the network as read-only
+// views without defensive copying. TestValueHandOffRetention pins the
+// no-copy property.
+
 // InsertProc is Insert with per-operation instrumentation attached.
 func (s *SkipList[K, V]) InsertProc(p *Proc, key K, value V) bool {
 	_, ok := s.l.Insert(p, key, value)

@@ -1,0 +1,66 @@
+package lockfree_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"repro/lockfree"
+)
+
+// TestValueHandOffRetention pins the value hand-off contract documented
+// in proc.go: the structure retains inserted values without copying, and
+// Get returns the same backing bytes. The serving layer's parse arena
+// depends on both directions — it may intern many values into one
+// allocation's chunk (the structure won't duplicate them), and it may
+// write values read back to the network as read-only views (the
+// structure won't have substituted rewritten bytes).
+func TestValueHandOffRetention(t *testing.T) {
+	t.Run("NoCopy", func(t *testing.T) {
+		s := lockfree.NewSkipList[int, string]()
+		v := strings.Repeat("x", 64)
+		if !s.Insert(1, v) {
+			t.Fatal("insert failed")
+		}
+		got, ok := s.Get(1)
+		if !ok || got != v {
+			t.Fatalf("Get(1) = %q, %v", got, ok)
+		}
+		if unsafe.StringData(got) != unsafe.StringData(v) {
+			t.Fatal("Get returned a copy: the hand-off contract promises the same backing bytes")
+		}
+	})
+
+	t.Run("ArenaViews", func(t *testing.T) {
+		// Mimic the serving layer's arena: values are string views of an
+		// append-only strings.Builder, which keeps growing (and being
+		// replaced) after the inserts. Every view must read back intact.
+		s := lockfree.NewSkipList[int, string]()
+		const n, chunk = 512, 1 << 10
+		want := make([]string, n)
+		var b *strings.Builder
+		for i := range want {
+			val := fmt.Sprintf("value-%04d-%s", i, strings.Repeat("y", i%37))
+			if b == nil || b.Cap()-b.Len() < len(val) {
+				b = &strings.Builder{}
+				b.Grow(chunk)
+			}
+			start := b.Len()
+			b.WriteString(val)
+			want[i] = b.String()[start:]
+			if !s.Insert(i, want[i]) {
+				t.Fatalf("insert %d failed", i)
+			}
+		}
+		// Keep appending to the live chunk after the inserts: views
+		// already handed out must not change (append-only discipline).
+		b.WriteString(strings.Repeat("z", 100))
+		for i, w := range want {
+			got, ok := s.Get(i)
+			if !ok || got != w {
+				t.Fatalf("Get(%d) = %q, %v; want %q", i, got, ok, w)
+			}
+		}
+	})
+}

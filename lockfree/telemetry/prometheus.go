@@ -52,6 +52,8 @@ var counterHelp = [itel.NumCounters]string{
 	"Total connections shed at accept time by the connection cap.",
 	"Total pipelined commands absorbed into coalesced batch calls by the serving layer.",
 	"Total commands whose store execution crossed the serving layer's slow-trace threshold.",
+	"Total connections auto-detected as RESP2 by their first byte.",
+	"Total reply flushes by the serving layer (one vectored write per coalesced run).",
 	"Total global epoch advances of the reclamation domain (epoch-based recycling).",
 	"Total retired nodes pushed onto recycling free lists after their grace period.",
 	"Total node constructions served from a recycling free list instead of the allocator.",

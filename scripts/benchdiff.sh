@@ -45,12 +45,12 @@ if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
     BASE=$(git rev-parse HEAD~1)
 fi
 
-BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded|BenchmarkPinUnpin|BenchmarkRetireRecycle)}"
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded|BenchmarkPinUnpin|BenchmarkRetireRecycle|BenchmarkServerWire)}"
 COUNT="${BENCHDIFF_COUNT:-5}"
 BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
 MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
 MAXALLOCREG="${BENCHDIFF_MAX_ALLOCS_REGRESSION:-10}"
-PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded ./internal/ebr}"
+PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded ./internal/ebr ./internal/server}"
 
 TMP=$(mktemp -d)
 WORKTREE="$TMP/base"
@@ -159,6 +159,10 @@ awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
             na = (name in newallocn) ? newalloc[name] / newallocn[name] : 0
             if (name ~ /ChurnRecycle/ && na > 0) {
                 printf "benchdiff: %s allocates (%.2f allocs/op): the recycling write path must be 0\n", name, na > "/dev/stderr"
+                fails++
+            }
+            if (name ~ /ServerWire(Get|Del)/ && na > 0) {
+                printf "benchdiff: %s allocates (%.2f allocs/op): the read/delete wire path must be 0\n", name, na > "/dev/stderr"
                 fails++
             }
             if (!(name in oldsum)) {

@@ -6,13 +6,17 @@
 #   3. the test suite again under the race detector,
 #   4. targeted race passes over the parallelism-shaped packages
 #      (internal/sharded and internal/server) at GOMAXPROCS=2 and 8,
-#   5. a short lflstress -server smoke run: an in-process TCP server per
+#   5. a ten-second FuzzRESP run over the wire-protocol readers: hostile
+#      bytes must fail requests, never hang or kill the serving goroutine,
+#   6. a short lflstress -server smoke run: an in-process TCP server per
 #      round, pipelined mixed workloads, linearizability-checked, with
 #      the graceful drain asserted at each round's end,
-#   6. an observability smoke: a real lflserver with its admin listener
+#   7. an observability smoke: a real lflserver with its admin listener
 #      up, the /metrics, /debug/trace, and /debug/pprof surfaces curled
-#      and sanity-checked, then a clean SIGTERM drain,
-#   7. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
+#      and sanity-checked, then a clean SIGTERM drain — plus, when a
+#      redis-cli binary is on PATH, a real-client RESP round-trip
+#      against the same server (skipped quietly otherwise),
+#   8. (opt-in: BENCHDIFF=1) the benchdiff perf gate against the merge
 #      base — off by default because microbenchmarks need a quiet machine
 #      to be meaningful.
 #
@@ -62,6 +66,15 @@ echo "== race: ebr at GOMAXPROCS=2 and GOMAXPROCS=8 =="
 GOMAXPROCS=2 go test -race -count=1 ./internal/ebr
 GOMAXPROCS=8 go test -race -count=1 ./internal/ebr
 
+# Protocol-robustness fuzz: ten seconds of arbitrary bytes against a
+# served connection (seeds cover both dialects and every malformed-frame
+# class the RESP reader distinguishes). The invariant is termination —
+# hostile input may fail requests but must never panic or wedge the
+# serving goroutines. -run '^$' skips the unit tests; the instrumented
+# build dominates the wall clock, the fuzz window itself is 10s.
+echo "== fuzz: FuzzRESP for 10s =="
+go test -fuzz=FuzzRESP -fuzztime=10s -run '^$' ./internal/server
+
 # End-to-end serving smoke: lflstress in -server self mode starts a real
 # TCP server per round, drives it with pipelined mixed workloads over
 # several connections, checks every history for linearizability, and
@@ -107,6 +120,22 @@ replies=$(printf 'SET 1 a\nSET 2 b\nGET 1\nGET 3\nDEL 2\nPING\nQUIT\n' \
     | curl -s --max-time 10 "telnet://$addr")
 echo "$replies" | grep -q '+PONG' \
     || { echo "obs-smoke: no +PONG from the protocol listener"; exit 1; }
+# RESP smoke with a real Redis client, when one is installed: dialect
+# detection is per-connection, so redis-cli talks RESP2 to the same
+# listener the line-protocol traffic above just used. Skipped quietly
+# when the binary is absent (the e2e RESP tests cover the protocol
+# either way; this leg asserts interop with an independent client).
+if command -v redis-cli >/dev/null 2>&1; then
+    rhost=${addr%:*} rport=${addr##*:}
+    rcli() { redis-cli -h "$rhost" -p "$rport" "$@"; }
+    [ "$(rcli PING)" = "PONG" ] || { echo "resp-smoke: PING != PONG"; exit 1; }
+    [ "$(rcli SET 7 hello)" = "OK" ] || { echo "resp-smoke: SET failed"; exit 1; }
+    [ "$(rcli GET 7)" = "hello" ] || { echo "resp-smoke: GET != hello"; exit 1; }
+    [ "$(rcli DEL 7)" = "1" ] || { echo "resp-smoke: DEL != 1"; exit 1; }
+    echo "resp-smoke: redis-cli PING/SET/GET/DEL round-trip ok"
+else
+    echo "resp-smoke: redis-cli not installed, skipping"
+fi
 metrics=$(curl -sf "http://$admin/metrics")
 echo "$metrics" | grep -q 'lockfree_server_cmd_latency_seconds_bucket{.*le="+Inf"' \
     || { echo "obs-smoke: /metrics missing per-verb latency histogram"; exit 1; }
