@@ -598,6 +598,7 @@ func (c *conn) executeRange(lo, hi int) {
 		return true
 	})
 	if over {
+		clear(pairs)
 		c.rpairs = pairs[:0]
 		c.writeErr(errors.New("range result exceeds " + strconv.Itoa(maxR) + " keys"))
 		return
@@ -665,6 +666,13 @@ func (c *conn) writeInt(n int) {
 	c.w.literal(c.rep.eol)
 }
 
+// writeValue frames a GET hit. RESP bulks are length-prefixed, so any
+// byte sequence round-trips; the line dialect frames by newline with no
+// length prefix, so a value containing '\n' (storable only via RESP
+// SET, since line-protocol parsing splits on newlines) is emitted raw
+// and desyncs a line-protocol reader. README's "RESP compatibility"
+// section documents the hazard: keep values newline-free when both
+// dialects read the same keys.
 func (c *conn) writeValue(v string, ok bool) {
 	if !ok {
 		c.w.literal(c.rep.miss)

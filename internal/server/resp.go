@@ -121,22 +121,35 @@ func (c *conn) readRespCommand(n int) (entry, error) {
 		return entry{err: arityErr(verb)}, c.discardBulks(n - 1)
 	}
 
+	// From here on, a per-request failure must still consume the frame's
+	// remaining bulks (as the unknown-command and arity paths above do):
+	// returning early would leave unread bulks in the stream to be
+	// re-parsed as the next command, misaligning every later reply.
 	switch verb {
 	case VerbGet, VerbDel:
 		k, reqErr, fatal := c.readRespKey()
-		if fatal != nil || reqErr != nil {
-			return entry{err: reqErr}, fatal
+		if fatal != nil {
+			return entry{}, fatal
+		}
+		if reqErr != nil {
+			return entry{err: reqErr}, c.discardBulks(n - 2)
 		}
 		return entry{cmd: Command{Verb: verb, Key: k}}, nil
 
 	case VerbSet:
 		k, reqErr, fatal := c.readRespKey()
-		if fatal != nil || reqErr != nil {
-			return entry{err: reqErr}, fatal
+		if fatal != nil {
+			return entry{}, fatal
+		}
+		if reqErr != nil {
+			return entry{err: reqErr}, c.discardBulks(n - 2)
 		}
 		val, reqErr, fatal := c.readBulk()
-		if fatal != nil || reqErr != nil {
-			return entry{err: reqErr}, fatal
+		if fatal != nil {
+			return entry{}, fatal
+		}
+		if reqErr != nil {
+			return entry{err: reqErr}, c.discardBulks(n - 3)
 		}
 		if len(val) == 0 {
 			return entry{err: arityErr(VerbSet)}, c.discardBulks(n - 3)
@@ -149,12 +162,18 @@ func (c *conn) readRespCommand(n int) (entry, error) {
 
 	case VerbRange:
 		lo, reqErr, fatal := c.readRespKey()
-		if fatal != nil || reqErr != nil {
-			return entry{err: reqErr}, fatal
+		if fatal != nil {
+			return entry{}, fatal
+		}
+		if reqErr != nil {
+			return entry{err: reqErr}, c.discardBulks(n - 2)
 		}
 		hi, reqErr, fatal := c.readRespKey()
-		if fatal != nil || reqErr != nil {
-			return entry{err: reqErr}, fatal
+		if fatal != nil {
+			return entry{}, fatal
+		}
+		if reqErr != nil {
+			return entry{err: reqErr}, c.discardBulks(n - 3)
 		}
 		return entry{cmd: Command{Verb: VerbRange, Key: lo, Hi: hi}}, nil
 
@@ -226,11 +245,12 @@ func (c *conn) readRespKey() (key int, reqErr, fatal error) {
 	if i == len(tok) {
 		return 0, fmt.Errorf("key %q is not a signed 64-bit integer", clip(tok)), nil
 	}
-	digits := tok[i:]
-	if len(digits) > 18 {
-		digits = digits[len(digits)-18:]
+	// A run too long for int64 is rejected, not truncated: truncation
+	// would silently collide distinct keys that share a 19-digit suffix.
+	k, ok := parseWireInt(tok[i:])
+	if !ok {
+		return 0, fmt.Errorf("key %q trailing digits overflow a signed 64-bit integer", clip(tok)), nil
 	}
-	k, _ := parseWireInt(digits)
 	return int(k), nil, nil
 }
 

@@ -180,6 +180,15 @@ func TestRespMalformedFrames(t *testing.T) {
 		{"unknown command", respCmd("CONFIG", "GET", "save"), 1},
 		{"wrong arity", respCmd("GET", "1", "2"), 1},
 		{"non-integer key", respCmd("GET", "abc"), 1},
+		// Digitless keys mid-frame: the value / hi bulks after the bad key
+		// must be discarded, or they would be re-parsed as the next command
+		// and the sentinel PING would misalign.
+		{"digitless SET key", respCmd("SET", "foo", "bar"), 1},
+		{"digitless RANGE lo", respCmd("RANGE", "foo", "9"), 1},
+		{"digitless RANGE hi", respCmd("RANGE", "1", "foo"), 1},
+		// A 23-digit trailing run overflows int64 and is rejected, never
+		// silently truncated to a colliding shorter key.
+		{"overflowing key digits", respCmd("GET", "key:12345678901234567890123"), 1},
 		{"range arity", respCmd("RANGE", "1"), 1},
 	}
 	for _, tc := range cases {
