@@ -48,6 +48,9 @@ type benchJSON struct {
 	// Wire is written by the -wire stage (see wire.go), preserved here
 	// for the same reason.
 	Wire *wireResult `json:"wire,omitempty"`
+	// GroupBatch is written by the -group stage (see groupbatch.go),
+	// preserved here for the same reason.
+	GroupBatch *groupBatchResult `json:"group_batch,omitempty"`
 }
 
 type benchRow struct {
@@ -355,8 +358,9 @@ func runBenchJSON(path string, quick bool) (string, error) {
 	if data, err := os.ReadFile(path); err == nil {
 		var prev benchJSON
 		if json.Unmarshal(data, &prev) == nil {
-			out.OpenLoop = prev.OpenLoop // keep the -openloop stage's section
-			out.Wire = prev.Wire         // and the -wire stage's
+			out.OpenLoop = prev.OpenLoop     // keep the -openloop stage's section
+			out.Wire = prev.Wire             // the -wire stage's
+			out.GroupBatch = prev.GroupBatch // and the -group stage's
 		}
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered / %s churn, ops=%d) ==\n",

@@ -10,6 +10,7 @@
 //	lflbench -openloop [-openloop-rate 20000] [-openloop-duration 5s]
 //	         [-openloop-conns 4] [-openloop-keyrange 65536]
 //	lflbench -wire
+//	lflbench -group
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
 // full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
@@ -30,6 +31,14 @@
 // crossed with pipeline depth 1/16 for GET and SET, recording ns/op and
 // allocs/op into the wire section of the JSON file. Steady-state GETs are
 // expected allocation-free on both dialects.
+//
+// -group runs the cross-connection group-batching stage: the same
+// in-process server driven by 64 net.Pipe connections at pipeline depth
+// 1, once in the default per-connection mode and once with -groupbatch
+// semantics (Config.GroupBatch), recording aggregate ops/sec and
+// allocs/op for both into the group_batch section of the JSON file. The
+// grouped rows are expected to beat the per-connection rows: depth-1
+// traffic is exactly the regime per-connection coalescing cannot help.
 package main
 
 import (
@@ -62,6 +71,7 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file when the run completes")
 	openLoop := fs.Bool("openloop", false, "run the fixed-arrival-rate serving-latency stage")
 	wire := fs.Bool("wire", false, "run the wire-protocol per-op cost stage (line vs RESP, depth 1/16)")
+	group := fs.Bool("group", false, "run the cross-connection group-batching stage (64 conns, depth 1)")
 	olRate := fs.Int("openloop-rate", 20_000, "open-loop offered rate, total ops/sec across connections")
 	olDur := fs.Duration("openloop-duration", 5*time.Second, "open-loop measured window")
 	olConns := fs.Int("openloop-conns", 4, "open-loop client connections")
@@ -85,9 +95,9 @@ func run(args []string) error {
 	}
 
 	want := map[string]bool{}
-	if (*openLoop || *wire) && !expSet {
-		// -openloop / -wire alone run just their stage; combine with an
-		// explicit -exp to run experiments in the same invocation.
+	if (*openLoop || *wire || *group) && !expSet {
+		// -openloop / -wire / -group alone run just their stage; combine
+		// with an explicit -exp to run experiments in the same invocation.
 	} else if *expFlag == "all" {
 		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "bench"} {
 			want[e] = true
@@ -163,8 +173,18 @@ func run(args []string) error {
 		fmt.Printf("[wire finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
 		ran++
 	}
+	if *group {
+		begin := time.Now()
+		out, err := runGroupBatch(*jsonPath, *quick)
+		if err != nil {
+			return fmt.Errorf("group: %w", err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[group finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
+		ran++
+	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, -openloop, or -wire)")
+		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, -openloop, -wire, or -group)")
 	}
 
 	if *memProfile != "" {

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -106,5 +109,96 @@ func TestRunServesAndDrainsOnSignal(t *testing.T) {
 	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if _, err := br.ReadByte(); err == nil {
 		t.Fatal("connection still open after drain")
+	}
+}
+
+// TestRunGroupBatchDrainsMidBurst is the end-to-end graceful-shutdown
+// contract of group-batching mode: SIGTERM lands while several
+// connections are mid-burst, and every command written before the
+// writers stand down is answered — the drain grace serves commands
+// already on the wire, executors complete every published unit before
+// the pool stops, and zero replies are dropped.
+func TestRunGroupBatchDrainsMidBurst(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-shards", "2", "-key-hi", "4096",
+			"-groupbatch", "-group-window", "100us", "-drain-timeout", "5s"})
+	}()
+
+	const conns = 4
+	const per = 64
+	ncs := make([]net.Conn, conns)
+	for i := 0; i < conns; i++ {
+		var err error
+		for try := 0; try < 200; try++ {
+			if ncs[i], err = net.Dial("tcp", addr); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		defer ncs[i].Close()
+	}
+
+	var stop atomic.Bool
+	sent := make([]int, conns)
+	got := make([]int, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for i := range ncs {
+		wg.Add(1)
+		go func(i int, nc net.Conn) {
+			defer wg.Done()
+			br := bufio.NewReader(nc)
+			var burst bytes.Buffer
+			for k := 0; k < per; k++ {
+				fmt.Fprintf(&burst, "SET %d v\n", i*1024+k)
+			}
+			for !stop.Load() {
+				if _, err := nc.Write(burst.Bytes()); err != nil {
+					errs[i] = fmt.Errorf("write after %d replies: %w", got[i], err)
+					return
+				}
+				sent[i] += per
+				for k := 0; k < per; k++ {
+					if _, err := br.ReadString('\n'); err != nil {
+						errs[i] = fmt.Errorf("read after %d replies: %w", got[i], err)
+						return
+					}
+					got[i]++
+				}
+			}
+		}(i, ncs[i])
+	}
+
+	time.Sleep(50 * time.Millisecond) // let the burst traffic establish
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true) // writers finish their in-flight round, then stand down
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	wg.Wait()
+	for i := 0; i < conns; i++ {
+		if errs[i] != nil {
+			t.Errorf("conn %d: %v", i, errs[i])
+		}
+		if sent[i] == 0 {
+			t.Errorf("conn %d sent nothing before shutdown", i)
+		}
+		if got[i] != sent[i] {
+			t.Errorf("conn %d: %d replies for %d sent commands (dropped %d)",
+				i, got[i], sent[i], sent[i]-got[i])
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"slices"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -77,6 +78,14 @@ type conn struct {
 	queueWait int64
 	proc      core.Proc
 	procStats core.OpStats
+
+	// group-batching state (GroupBatch mode only): the run's published
+	// units (executors hold pointers into gbUnits, so it is pre-sized
+	// before any publish and never appended mid-run), the outstanding
+	// completion count, and the capacity-1 completion wake channel.
+	gbUnits     []gbUnit
+	gbRemaining atomic.Int32
+	gbWake      chan struct{}
 }
 
 // kvPair is one RANGE result, buffered so an oversized scan can fail
@@ -122,6 +131,9 @@ func newConn(s *Server, nc net.Conn) *conn {
 		rep:  &lineReplies,
 	}
 	c.proc.Stats = &c.procStats
+	if s.gb != nil {
+		c.gbWake = make(chan struct{}, 1)
+	}
 	return c
 }
 
@@ -135,7 +147,11 @@ func (c *conn) serve() {
 	quit := false
 	for r := range c.runs {
 		if !quit {
-			quit = c.execute(r)
+			if c.srv.gb != nil {
+				quit = c.executeGrouped(r)
+			} else {
+				quit = c.execute(r)
+			}
 			if c.flush() != nil {
 				quit = true
 			}
@@ -603,6 +619,18 @@ func (c *conn) executeRange(lo, hi int) {
 		c.writeErr(errors.New("range result exceeds " + strconv.Itoa(maxR) + " keys"))
 		return
 	}
+	if !c.resp {
+		// Same framing rule as writeValue: one unrepresentable value fails
+		// the whole scan before any output is framed.
+		for _, p := range pairs {
+			if strings.IndexByte(p.v, '\n') >= 0 {
+				clear(pairs)
+				c.rpairs = pairs[:0]
+				c.writeErr(errValueNotLine)
+				return
+			}
+		}
+	}
 	if c.resp {
 		// Flat array of alternating key and value bulks, Redis-style.
 		c.w.writeByte('*')
@@ -666,13 +694,18 @@ func (c *conn) writeInt(n int) {
 	c.w.literal(c.rep.eol)
 }
 
+// errValueNotLine answers a line-dialect read of a value the line
+// protocol cannot frame; the message is part of the wire contract (see
+// README's "RESP compatibility" note).
+var errValueNotLine = errors.New("value not line-representable")
+
 // writeValue frames a GET hit. RESP bulks are length-prefixed, so any
 // byte sequence round-trips; the line dialect frames by newline with no
-// length prefix, so a value containing '\n' (storable only via RESP
-// SET, since line-protocol parsing splits on newlines) is emitted raw
-// and desyncs a line-protocol reader. README's "RESP compatibility"
-// section documents the hazard: keep values newline-free when both
-// dialects read the same keys.
+// length prefix, so a value containing '\n' (storable only via RESP SET,
+// since line-protocol parsing splits on newlines) cannot be framed —
+// emitting it raw would desync the reader's framing for the rest of the
+// connection. Such a read answers -ERR value not line-representable
+// instead: the request fails, the stream stays in sync.
 func (c *conn) writeValue(v string, ok bool) {
 	if !ok {
 		c.w.literal(c.rep.miss)
@@ -684,6 +717,10 @@ func (c *conn) writeValue(v string, ok bool) {
 		c.w.literal("\r\n")
 		c.w.value(v)
 		c.w.literal("\r\n")
+		return
+	}
+	if strings.IndexByte(v, '\n') >= 0 {
+		c.writeErr(errValueNotLine)
 		return
 	}
 	c.w.writeByte('$')

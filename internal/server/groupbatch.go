@@ -1,0 +1,610 @@
+package server
+
+import (
+	"cmp"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/telemetry"
+)
+
+// Group batching: the serving layer's answer to the traffic shape where
+// per-connection coalescing never fires — thousands of connections at
+// pipeline depth 1. Each connection's writer publishes its run's
+// batchable commands (SET/GET/DEL) as units into per-key-range lock-free
+// MPSC submission rings; a small pool of executor goroutines drains a
+// ring each, merges same-verb stretches *across connections* into one
+// sorted batch call through an executor-owned Proc and finger, and
+// completes each unit back to its owning connection. The connection then
+// frames replies in request order and flushes vectored, exactly as in
+// per-connection mode.
+//
+// The hand-offs stay non-blocking in the lock-free sense the store
+// earns: publish is a ticket fetch-and-add plus one slot write (no lock,
+// no allocation), completion is one atomic decrement plus a non-blocking
+// wake. The only waiting is bounded-window waiting by design — the
+// executor holds a group open for at most ~BatchWindow — so the trade is
+// explicit: up to one window of added latency buys every unit in the
+// group the batch path's amortized per-element search cost (DESIGN.md
+// Section 12).
+//
+// Ordering contract: a connection publishes its run's units in request
+// order into rings that are FIFO per producer, and an executor processes
+// its gathered units as consecutive same-verb stretches in arrival
+// order. Units of one connection therefore execute in program order
+// except among same-verb duplicates of one key inside one stretch —
+// the same "arbitrary among duplicates" the per-connection coalescer
+// already grants — so per-connection per-key semantics are unchanged.
+
+// gbUnit is one batchable command unit in flight between a connection
+// and an executor. The owning connection writes the request fields and
+// publishes; exactly one executor writes the result fields and calls
+// gbComplete, after which it must not touch the unit again (the owner is
+// free to reuse it for its next run).
+type gbUnit struct {
+	owner *conn
+	verb  Verb
+	key   int
+	val   string // SET payload, interned in the owner's arena
+	out   string // GET result
+	ok    bool   // result flag
+	enq   int64  // publish Nanotime (0 when observability is detached)
+}
+
+// gbSlot is one submission-ring cell: a sequence number in the ticket
+// discipline of instrument.TraceRing plus the unit pointer it carries.
+type gbSlot struct {
+	seq atomic.Uint64
+	u   *gbUnit
+}
+
+// gbRing is a fixed-size lock-free MPSC ring: any connection publishes,
+// exactly one executor consumes. Producers claim a ticket by
+// fetch-and-add and spin (bounded backpressure) while their slot is
+// still occupied by an un-consumed unit from one lap ago; the consumer
+// owns deq outright, so popping needs no atomics beyond the slot
+// sequence. The sequence stores publish the unit pointer with
+// release/acquire ordering, keeping the plain u field race-free.
+type gbRing struct {
+	mask  uint64
+	slots []gbSlot
+
+	enq atomic.Uint64
+	deq uint64 // consumer-owned cursor
+
+	// Dekker-style park handshake: the consumer sets sleeping before its
+	// final emptiness check, producers check it after their final seq
+	// store. Go atomics are sequentially consistent, so one side always
+	// sees the other: either the consumer re-checks non-empty, or the
+	// producer sends the (capacity-1, non-blocking) wake token.
+	sleeping atomic.Bool
+	wake     chan struct{}
+}
+
+func (r *gbRing) init(capacity int) {
+	r.slots = make([]gbSlot, capacity)
+	r.mask = uint64(capacity - 1)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.wake = make(chan struct{}, 1)
+}
+
+// push publishes u; 0 allocations, lock-free, safe for any number of
+// concurrent producers. A full ring spins the producer — bounded
+// backpressure toward the executor, mirroring the paper's preference for
+// helping over queue growth.
+func (r *gbRing) push(u *gbUnit) {
+	t := r.enq.Add(1) - 1
+	s := &r.slots[t&r.mask]
+	for s.seq.Load() != t {
+		runtime.Gosched()
+	}
+	s.u = u
+	s.seq.Store(t + 1)
+	if r.sleeping.Load() {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// pop consumes the next unit, or nil when the ring is empty. Consumer
+// only.
+func (r *gbRing) pop() *gbUnit {
+	s := &r.slots[r.deq&r.mask]
+	if s.seq.Load() != r.deq+1 {
+		return nil
+	}
+	u := s.u
+	s.u = nil
+	s.seq.Store(r.deq + uint64(len(r.slots)))
+	r.deq++
+	return u
+}
+
+// nonEmpty reports whether a unit is ready to pop. Consumer only.
+func (r *gbRing) nonEmpty() bool {
+	return r.slots[r.deq&r.mask].seq.Load() == r.deq+1
+}
+
+// gbSpinPolls is how long waiters spin (with yields) before parking —
+// the spin-then-park discipline of the CAS backoff, applied to the
+// executor's empty-ring wait and the connection's completion wait. On a
+// single-P runtime the spin phase is counterproductive — every yielding
+// waiter takes a scheduler turn away from the one goroutine that could
+// satisfy it — so newGroupBatcher drops the spin budget to one check and
+// waiters park immediately (see groupBatcher.spinPolls).
+const gbSpinPolls = 128
+
+// gbExecutor is one executor goroutine's state: its submission ring, its
+// pinned attribution context, and its reusable gather/sort/batch
+// scratch. All fields past the ring are goroutine-local.
+type gbExecutor struct {
+	gb   *groupBatcher
+	ring gbRing
+
+	proc      core.Proc
+	procStats core.OpStats
+
+	units []*gbUnit
+	ord   []int
+	keys  []int
+	items []core.KV[int, string]
+	vals  []string
+	flags []bool
+}
+
+// groupBatcher is the engine: the splitter table routing keys to
+// executors and the executor pool's lifecycle.
+type groupBatcher struct {
+	srv         *Server
+	splitters   []int
+	execs       []*gbExecutor
+	windowNanos int64
+	spinPolls   int
+
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newGroupBatcher(s *Server) *groupBatcher {
+	g := &groupBatcher{
+		srv:         s,
+		windowNanos: s.cfg.BatchWindow.Nanoseconds(),
+		spinPolls:   gbSpinPolls,
+		stopped:     make(chan struct{}),
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// Spinning waiters would monopolize the only P; park right away so
+		// the scheduler hands it to whoever can make progress.
+		g.spinPolls = 1
+	}
+	// Routing resolution: explicit config splitters win; otherwise ask
+	// the store for its shard splitters so executor ranges coincide with
+	// shard ranges and every executor batch is a single-shard sub-run; a
+	// store without splitters gets one executor (one global ring).
+	sp := s.cfg.GroupSplitters
+	if sp == nil {
+		if ss, ok := s.store.(interface{ Splitters() []int }); ok {
+			sp = ss.Splitters()
+		}
+	}
+	nexec := len(sp) + 1
+	if e := s.cfg.GroupExecutors; e > 0 && e < nexec {
+		// Thin the splitter set to e evenly sized unions of adjacent
+		// ranges, so a smaller pool still owns contiguous key ranges.
+		thin := make([]int, 0, e-1)
+		for i := 1; i < e; i++ {
+			thin = append(thin, sp[i*nexec/e-1])
+		}
+		sp, nexec = thin, e
+	}
+	g.splitters = sp
+	ringCap := 1024
+	for ringCap < 4*s.cfg.MaxBatch {
+		ringCap <<= 1
+	}
+	g.execs = make([]*gbExecutor, nexec)
+	for i := range g.execs {
+		x := &gbExecutor{gb: g}
+		x.ring.init(ringCap)
+		x.proc.Stats = &x.procStats
+		g.execs[i] = x
+	}
+	return g
+}
+
+func (g *groupBatcher) start() {
+	for _, x := range g.execs {
+		g.wg.Add(1)
+		go x.run()
+	}
+}
+
+// stop shuts the executor pool down and waits for it. Callers must
+// guarantee no units are live in the rings — Shutdown does, by stopping
+// only after every connection is gone. Idempotent and safe to call
+// concurrently.
+func (g *groupBatcher) stop() {
+	g.stopOnce.Do(func() { close(g.stopped) })
+	g.wg.Wait()
+}
+
+// ringFor routes key to its owning executor: the same binary search over
+// splitters as internal/sharded's ShardFor, so when the splitters came
+// from the store the executor range is exactly one shard.
+func (g *groupBatcher) ringFor(key int) *gbExecutor {
+	lo, hi := 0, len(g.splitters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.splitters[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.execs[lo]
+}
+
+// run is the executor goroutine: pop a first unit, gather a group behind
+// it, execute, repeat; park when the ring stays empty.
+func (x *gbExecutor) run() {
+	defer x.gb.wg.Done()
+	for {
+		u := x.ring.pop()
+		if u == nil {
+			if !x.park() {
+				// Stopping. The rings hold no live units once every
+				// connection has finished (each waits out its published
+				// units before its run completes), but drain defensively
+				// so a unit can never be stranded un-completed.
+				for {
+					u := x.ring.pop()
+					if u == nil {
+						return
+					}
+					x.gather(u)
+					x.executeGroup()
+				}
+			}
+			continue
+		}
+		x.gather(u)
+		x.executeGroup()
+	}
+}
+
+// park waits for the ring to go non-empty: a bounded yield-spin, then
+// the sleeping/wake handshake. Returns false when the batcher stopped.
+func (x *gbExecutor) park() bool {
+	for i := 0; i < x.gb.spinPolls; i++ {
+		if x.ring.nonEmpty() {
+			return true
+		}
+		select {
+		case <-x.gb.stopped:
+			return false
+		default:
+		}
+		runtime.Gosched()
+	}
+	for {
+		x.ring.sleeping.Store(true)
+		if x.ring.nonEmpty() {
+			x.ring.sleeping.Store(false)
+			return true
+		}
+		select {
+		case <-x.ring.wake:
+			x.ring.sleeping.Store(false)
+			if x.ring.nonEmpty() {
+				return true
+			}
+			// Stale token from an earlier publish already consumed by the
+			// spin phase; re-arm and wait again.
+		case <-x.gb.stopped:
+			x.ring.sleeping.Store(false)
+			return false
+		}
+	}
+}
+
+// gather collects a group behind first: up to MaxBatch units, holding
+// the group open at most ~BatchWindow past the first unit. The wait is
+// a yield-spin — one window is tens of microseconds, well under parking
+// cost — cut short when the batcher stops.
+func (x *gbExecutor) gather(first *gbUnit) {
+	units := append(x.units[:0], first)
+	max := x.gb.srv.cfg.MaxBatch
+	deadline := telemetry.Nanotime() + x.gb.windowNanos
+	idle := 0
+	for len(units) < max {
+		if u := x.ring.pop(); u != nil {
+			units = append(units, u)
+			idle = 0
+			continue
+		}
+		// Read the clock every few empty polls, not every poll: a window is
+		// tens of microseconds, so overshooting the deadline by a few
+		// yields is harmless and the executor's idle loop stays off the
+		// profile.
+		idle++
+		if idle&3 == 0 && telemetry.Nanotime() >= deadline {
+			break
+		}
+		select {
+		case <-x.gb.stopped:
+			x.units = units
+			return
+		default:
+		}
+		runtime.Gosched()
+	}
+	x.units = units
+}
+
+// executeGroup executes the gathered units as consecutive same-verb
+// stretches in arrival order — the cross-connection analogue of the
+// per-connection coalescer, and the partition that preserves each
+// connection's program order (see the ordering contract above).
+func (x *gbExecutor) executeGroup() {
+	units := x.units
+	for i := 0; i < len(units); {
+		v := units[i].verb
+		j := i + 1
+		for j < len(units) && units[j].verb == v {
+			j++
+		}
+		x.executeStretch(v, units[i:j])
+		i = j
+	}
+	// Completed units belong to their owners again; drop the pointers so
+	// parked gather capacity cannot pin a connection or its values.
+	clear(units)
+	x.units = units[:0]
+}
+
+// executeStretch runs one same-verb stretch as a single sorted batch
+// call (or a point call for a stretch of one), writes each unit's result
+// and completes it back to its owner. After gbComplete on a unit the
+// executor never touches it again.
+func (x *gbExecutor) executeStretch(v Verb, us []*gbUnit) {
+	srv := x.gb.srv
+	obs := srv.obs
+	n := len(us)
+	var sampled, attrib bool
+	var start int64
+	if obs != nil {
+		start = telemetry.Nanotime()
+		for _, u := range us {
+			obs.recordGroupWait(start - u.enq)
+		}
+		obs.recordGroupBatch(n)
+		sampled = obs.sampleNext()
+		attrib = sampled && srv.procStore != nil
+		if attrib {
+			x.procStats.Reset()
+		}
+	}
+	traceKey := us[0].key
+
+	if n == 1 {
+		u := us[0]
+		switch v {
+		case VerbSet:
+			if attrib {
+				u.ok = srv.procStore.InsertProc(&x.proc, u.key, u.val)
+			} else {
+				u.ok = srv.store.Insert(u.key, u.val)
+			}
+		case VerbGet:
+			if attrib {
+				u.out, u.ok = srv.procStore.GetProc(&x.proc, u.key)
+			} else {
+				u.out, u.ok = srv.store.Get(u.key)
+			}
+		default: // VerbDel
+			if attrib {
+				u.ok = srv.procStore.DeleteProc(&x.proc, u.key)
+			} else {
+				u.ok = srv.store.Delete(u.key)
+			}
+		}
+		u.owner.gbComplete()
+	} else {
+		ord := x.ord[:0]
+		for i := 0; i < n; i++ {
+			ord = append(ord, i)
+		}
+		slices.SortFunc(ord, func(a, b int) int {
+			if d := cmp.Compare(us[a].key, us[b].key); d != 0 {
+				return d
+			}
+			return cmp.Compare(a, b)
+		})
+		x.ord = ord
+		flags := growTo(&x.flags, n)
+		switch v {
+		case VerbSet:
+			items := x.items[:0]
+			for _, oi := range ord {
+				items = append(items, core.KV[int, string]{Key: us[oi].key, Value: us[oi].val})
+			}
+			x.items = items
+			if attrib {
+				srv.procStore.InsertBatchProc(&x.proc, items, flags)
+			} else {
+				srv.store.InsertBatch(items, flags)
+			}
+			for m, oi := range ord {
+				u := us[oi]
+				u.ok = flags[m]
+				u.owner.gbComplete()
+			}
+		case VerbGet:
+			keys := x.keys[:0]
+			for _, oi := range ord {
+				keys = append(keys, us[oi].key)
+			}
+			x.keys = keys
+			vals := growTo(&x.vals, n)
+			if attrib {
+				srv.procStore.GetBatchProc(&x.proc, keys, vals, flags)
+			} else {
+				srv.store.GetBatch(keys, vals, flags)
+			}
+			for m, oi := range ord {
+				u := us[oi]
+				u.out = vals[m]
+				u.ok = flags[m]
+				u.owner.gbComplete()
+			}
+		default: // VerbDel
+			keys := x.keys[:0]
+			for _, oi := range ord {
+				keys = append(keys, us[oi].key)
+			}
+			x.keys = keys
+			if attrib {
+				srv.procStore.DeleteBatchProc(&x.proc, keys, flags)
+			} else {
+				srv.store.DeleteBatch(keys, flags)
+			}
+			for m, oi := range ord {
+				u := us[oi]
+				u.ok = flags[m]
+				u.owner.gbComplete()
+			}
+		}
+		srv.addCounter(instrument.CtrUnitsGrouped, uint64(n))
+	}
+
+	if obs != nil {
+		elapsed := telemetry.Nanotime() - start
+		slow := elapsed >= obs.slowNanos
+		if slow {
+			srv.addCounter(instrument.CtrCmdsSlow, uint64(n))
+		}
+		if sampled || slow {
+			var stats *core.OpStats
+			if attrib {
+				stats = &x.procStats
+			}
+			obs.trace(v, traceKey, n, elapsed, 0, sampled, slow, stats)
+		}
+	}
+}
+
+// gbComplete marks one of the connection's published units done; the
+// final completion wakes a parked gbWait with a non-blocking token.
+// Called by executors only.
+func (c *conn) gbComplete() {
+	if c.gbRemaining.Add(-1) == 0 {
+		select {
+		case c.gbWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// gbWait blocks until every unit the connection published for this run
+// has completed: yield-spin, then park on the wake channel. A stale
+// token (left when a prior wait was satisfied by the spin phase before
+// its token landed) costs one spurious wake; the loop re-checks the
+// count, and at most one token can ever be pending.
+func (c *conn) gbWait() {
+	for i := 0; i < c.srv.gb.spinPolls; i++ {
+		if c.gbRemaining.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	for c.gbRemaining.Load() != 0 {
+		<-c.gbWake
+	}
+}
+
+// executeGrouped answers one run in group-batching mode: publish every
+// batchable command as a unit (request order, so rings see each
+// connection's program order), wait for all completions, then frame
+// replies in request order — running the non-batchable verbs locally at
+// their positions. Because the wait precedes the reply walk, a local
+// LEN/RANGE observes every earlier write of its own run, and reply order
+// on the wire is identical to per-connection mode.
+func (c *conn) executeGrouped(r workRun) (quit bool) {
+	obs := c.srv.obs
+	if obs != nil {
+		c.queueWait = telemetry.Nanotime() - r.enq
+		obs.recordQueueWait(c.queueWait)
+		c.pend = c.pend[:0]
+	}
+	e := r.entries
+	nb := 0
+	for i := range e {
+		if e[i].err == nil && e[i].cmd.Verb.batchable() {
+			nb++
+		}
+	}
+	if nb > 0 {
+		// Size the unit array before publishing anything: executors hold
+		// pointers into it, so it must not move mid-run.
+		units := growTo(&c.gbUnits, nb)
+		c.gbRemaining.Store(int32(nb))
+		var enq int64
+		if obs != nil {
+			enq = telemetry.Nanotime()
+		}
+		k := 0
+		for i := range e {
+			if e[i].err != nil || !e[i].cmd.Verb.batchable() {
+				continue
+			}
+			u := &units[k]
+			k++
+			u.owner = c
+			u.verb = e[i].cmd.Verb
+			u.key = e[i].cmd.Key
+			u.val = e[i].cmd.Value
+			u.out = ""
+			u.ok = false
+			u.enq = enq
+			c.srv.gb.ringFor(u.key).ring.push(u)
+		}
+		c.gbWait()
+	}
+	k := 0
+	for i := 0; i < len(e); i++ {
+		if e[i].err != nil {
+			c.writeErr(e[i].err)
+			continue
+		}
+		v := e[i].cmd.Verb
+		if v.batchable() {
+			u := &c.gbUnits[k]
+			k++
+			switch v {
+			case VerbGet:
+				c.writeValue(u.out, u.ok)
+			case VerbSet:
+				c.writeSetReply(u.ok)
+			default:
+				c.writeBool(u.ok)
+			}
+			// Don't pin store values or arena chunks past the run.
+			u.out = ""
+			u.val = ""
+			continue
+		}
+		if c.executeSingle(e[i].cmd) {
+			return true
+		}
+	}
+	return false
+}

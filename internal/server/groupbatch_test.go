@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/lockfree"
+)
+
+// groupSrv builds a group-batching server over store and tears its
+// executor pool down at cleanup. Registered before any pipeConn, so the
+// LIFO cleanup order closes client conns (draining the connections)
+// before Shutdown waits on them.
+func groupSrv(t *testing.T, cfg Config, store Store) *Server {
+	t.Helper()
+	cfg.GroupBatch = true
+	srv := New(cfg, store)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// gatedStore blocks every point Get until release closes, reporting each
+// entry — a scheduling valve that lets a test pin an executor inside a
+// store call while more units pile into its ring.
+type gatedStore struct {
+	Store
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *gatedStore) Get(k int) (string, bool) {
+	s.entered <- struct{}{}
+	<-s.release
+	return s.Store.Get(k)
+}
+
+// TestGroupBatchCrossConn is the determinism contract of group batching:
+// units published by N different depth-1 connections while the executor
+// is busy merge into ONE cross-connection GetBatch call. The gate holds
+// the executor inside a first point Get; the test waits until the other
+// four units are ticketed in the submission ring, then releases — the
+// executor's next gather finds all four waiting.
+func TestGroupBatchCrossConn(t *testing.T) {
+	base := lockfree.NewSkipList[int, string]()
+	for i := 0; i <= 5; i++ {
+		base.Insert(i, fmt.Sprintf("v%d", i))
+	}
+	gated := &gatedStore{Store: base, entered: make(chan struct{}, 16), release: make(chan struct{})}
+	cs := &countingStore{Store: gated}
+	rec := telemetry.NewRecorder(1)
+	srv := groupSrv(t, Config{BatchWindow: time.Millisecond}, cs)
+	srv.SetTelemetry(rec)
+
+	// Connection 0's lone GET occupies the executor inside the gate.
+	cl0, br0 := pipeConn(t, srv)
+	if _, err := cl0.Write([]byte("GET 0\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-gated.entered
+
+	// Four more depth-1 connections publish while the executor is held.
+	const n = 4
+	cls := make([]net.Conn, n)
+	for i := 0; i < n; i++ {
+		cl, _ := pipeConn(t, srv)
+		cls[i] = cl
+		if _, err := cl.Write([]byte(fmt.Sprintf("GET %d\n", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring := &srv.gb.execs[0].ring
+	deadline := time.Now().Add(5 * time.Second)
+	for ring.enq.Load() != n+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d units ticketed in the submission ring", ring.enq.Load(), n+1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gated.release)
+
+	if got := mustReadLine(t, br0); got != "$v0" {
+		t.Fatalf("conn 0 reply = %q, want $v0", got)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("$v%d", i+1)
+		br := make([]byte, len(want)+1)
+		if _, err := io.ReadFull(cls[i], br); err != nil {
+			t.Fatalf("conn %d read: %v", i+1, err)
+		}
+		if got := strings.TrimSuffix(string(br), "\n"); got != want {
+			t.Fatalf("conn %d reply = %q, want %q", i+1, got, want)
+		}
+	}
+
+	if got := cs.getBatch.Load(); got != 1 {
+		t.Fatalf("cross-conn GetBatch calls = %d, want exactly 1", got)
+	}
+	if got := cs.get.Load(); got != 1 {
+		t.Fatalf("point Get calls = %d, want 1 (the gated opener)", got)
+	}
+	if got := rec.Snapshot().Counters.UnitsGrouped; got != n {
+		t.Fatalf("units_grouped = %d, want %d", got, n)
+	}
+}
+
+// TestGroupBatchConnCloseInFlight is the adversary case: a connection
+// dies while its unit is inside an executor's store call. The executor
+// must still complete the unit (the conn object outlives its transport),
+// the server must keep serving other connections, and Shutdown must
+// drain cleanly.
+func TestGroupBatchConnCloseInFlight(t *testing.T) {
+	base := lockfree.NewSkipList[int, string]()
+	base.Insert(1, "one")
+	gated := &gatedStore{Store: base, entered: make(chan struct{}, 16), release: make(chan struct{})}
+	srv := groupSrv(t, Config{BatchWindow: time.Millisecond}, gated)
+
+	cl, _ := pipeConn(t, srv)
+	if _, err := cl.Write([]byte("GET 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-gated.entered
+	cl.Close() // the owner's transport dies with the unit in flight
+	close(gated.release)
+
+	// The server survives: a fresh connection round-trips.
+	cl2, br2 := pipeConn(t, srv)
+	if _, err := cl2.Write([]byte("GET 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadLine(t, br2); got != "$one" {
+		t.Fatalf("reply after in-flight close = %q, want $one", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cl2.Close()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after in-flight close: %v", err)
+	}
+}
+
+// TestGroupBatchShutdownDrains: Shutdown mid-burst drops no replies — a
+// burst whose Write completed (net.Pipe is synchronous, so completion
+// means the server consumed it) is answered in full before the
+// connection closes.
+func TestGroupBatchShutdownDrains(t *testing.T) {
+	const conns = 6
+	const per = 32 // commands per burst, well under MaxBatch
+
+	srv := groupSrv(t, Config{}, lockfree.NewSkipList[int, string]())
+
+	var burst strings.Builder
+	for i := 0; i < per; i++ {
+		fmt.Fprintf(&burst, "SET %d v\n", i)
+	}
+	req := []byte(burst.String())
+
+	sent := make([]int, conns)
+	got := make([]int, conns)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		cl, _ := pipeConn(t, srv)
+		wg.Add(1)
+		go func(i int, cl net.Conn) { // writer: bursts until the drain cuts the pipe
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Write(req); err != nil {
+					return
+				}
+				sent[i] += per
+			}
+		}(i, cl)
+		wg.Add(1)
+		go func(i int, cl net.Conn) { // reader: counts reply lines until EOF
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for {
+				n, err := cl.Read(buf)
+				for _, b := range buf[:n] {
+					if b == '\n' {
+						got[i]++
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(i, cl)
+	}
+
+	time.Sleep(20 * time.Millisecond) // land Shutdown mid-burst
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := 0; i < conns; i++ {
+		if sent[i] == 0 {
+			t.Errorf("conn %d sent no complete burst before shutdown", i)
+		}
+		if got[i] != sent[i] {
+			t.Errorf("conn %d: %d replies for %d accepted commands (dropped %d)",
+				i, got[i], sent[i], sent[i]-got[i])
+		}
+	}
+}
+
+// TestGroupBatchGroupedSemantics runs the coalescer's semantic contracts
+// through the grouped path on one connection: request-order replies
+// across verb seams, duplicate-key insert-if-absent, and the local verbs
+// (PING/LEN) observing the run's earlier writes.
+func TestGroupBatchGroupedSemantics(t *testing.T) {
+	srv := groupSrv(t, Config{}, lockfree.NewSkipList[int, string]())
+	cl, br := pipeConn(t, srv)
+
+	req := "SET 5 a\nSET 3 b\nSET 4 c\nPING\nGET 3\nGET 9\nDEL 4\nLEN\nSET 5 dup\nGET 5\n"
+	want := []string{":1", ":1", ":1", "+PONG", "$b", "_", ":1", ":2", ":0", "$a"}
+	if _, err := cl.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if gotLine := mustReadLine(t, br); gotLine != w {
+			t.Fatalf("response %d = %q, want %q", i, gotLine, w)
+		}
+	}
+}
+
+// TestWriteValueNotLineRepresentable: a value stored through RESP with
+// an embedded newline cannot be framed by the line dialect — the line
+// reader gets -ERR and stays in sync, while RESP round-trips the value
+// intact. RANGE applies the same rule before framing any output.
+func TestWriteValueNotLineRepresentable(t *testing.T) {
+	store := lockfree.NewSkipList[int, string]()
+	srv := New(Config{}, store)
+
+	// RESP connection stores a two-line value and reads it back whole.
+	clR, brR := pipeConn(t, srv)
+	val := "line1\nline2"
+	if _, err := clR.Write([]byte(respCmd("SET", "10", val))); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReadLine(t, brR); got != "+OK\r" {
+		t.Fatalf("RESP SET reply = %q", got)
+	}
+	if _, err := clR.Write([]byte(respCmd("GET", "10"))); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, len("$11\r\n")+len(val)+2)
+	if _, err := io.ReadFull(brR, resp); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(resp); got != "$11\r\n"+val+"\r\n" {
+		t.Fatalf("RESP GET reply = %q", got)
+	}
+
+	store.Insert(11, "clean")
+
+	// Line connection: the poisoned key errors, the stream stays usable.
+	clL, brL := pipeConn(t, srv)
+	if _, err := clL.Write([]byte("GET 10\nGET 11\nRANGE 10 12\nRANGE 11 12\n")); err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"-ERR value not line-representable",
+		"$clean",
+		"-ERR value not line-representable",
+		"*1",
+		"11 clean",
+	}
+	for i, w := range wants {
+		if got := mustReadLine(t, brL); got != w {
+			t.Fatalf("line reply %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// wirePairGrouped is wirePair in group-batching mode; the tiny window
+// keeps single-connection exchanges from idling in the gather loop.
+func wirePairGrouped(tb testing.TB, store Store) net.Conn {
+	tb.Helper()
+	srv := New(Config{ReadTimeout: -1, WriteTimeout: -1, GroupBatch: true, BatchWindow: 5 * time.Microsecond}, store)
+	cl, se := net.Pipe()
+	go srv.ServeConn(se)
+	tb.Cleanup(func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return cl
+}
+
+// TestGroupBatchAllocs pins the grouped hot path end to end — parse,
+// ring publish, executor gather/execute, completion wake, framed reply,
+// vectored flush: zero server-side allocations for GET and DEL, one
+// amortized for SET (the value arena's chunk cycle), exactly the
+// per-connection mode's pins. AllocsPerRun counts every goroutine, so
+// the pin covers the executor too.
+func TestGroupBatchAllocs(t *testing.T) {
+	const depth = 16
+	cl := wirePairGrouped(t, lockfree.NewSkipList[int, string]())
+
+	t.Run("get", func(t *testing.T) {
+		pinAllocs(t, cl, strings.Repeat("GET 42\n", depth), depth*len("_\n"), 0)
+	})
+	t.Run("del", func(t *testing.T) {
+		pinAllocs(t, cl, strings.Repeat("DEL 42\n", depth), depth*len(":0\n"), 0)
+	})
+	t.Run("set", func(t *testing.T) {
+		pinAllocs(t, cl, strings.Repeat("SET 7 valuevaluevaluevalue\n", depth), depth*len(":0\n"), 1)
+	})
+}
+
+func benchWireGrouped(b *testing.B, req string, respLen int) {
+	cl := wirePairGrouped(b, lockfree.NewSkipList[int, string]())
+	reqB := []byte(req)
+	respB := make([]byte, respLen)
+	for i := 0; i < 20; i++ {
+		exchange(b, cl, reqB, respB)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exchange(b, cl, reqB, respB)
+	}
+}
+
+func BenchmarkServerWireGroupGetLine(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat("GET 42\n", benchDepth), benchDepth*len("_\n"))
+}
+
+func BenchmarkServerWireGroupGetResp(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat(respCmd("GET", "42"), benchDepth), benchDepth*len("$-1\r\n"))
+}
+
+func BenchmarkServerWireGroupDelLine(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat("DEL 42\n", benchDepth), benchDepth*len(":0\n"))
+}
+
+func BenchmarkServerWireGroupDelResp(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat(respCmd("DEL", "42"), benchDepth), benchDepth*len(":0\r\n"))
+}
+
+func BenchmarkServerWireGroupSetLine(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat("SET 7 valuevaluevaluevalue\n", benchDepth), benchDepth*len(":0\n"))
+}
+
+func BenchmarkServerWireGroupSetResp(b *testing.B) {
+	benchWireGrouped(b, strings.Repeat(respCmd("SET", "7", "valuevaluevaluevalue"), benchDepth), benchDepth*len("+OK\r\n"))
+}

@@ -78,6 +78,30 @@ type Config struct {
 	// Shutdown begins, so commands already on the wire are served rather
 	// than dropped (default 250ms).
 	DrainGrace time.Duration
+	// GroupBatch opts the server into cross-connection group batching:
+	// connections publish parsed SET/GET/DEL units into per-key-range
+	// lock-free submission rings and a small pool of executor goroutines
+	// merges same-verb units across connections into one sorted store
+	// batch per group (default off). The trade is bounded added latency
+	// (at most ~BatchWindow) for the amortized per-element search cost of
+	// the batch path — the win regime is many connections at shallow
+	// pipeline depth, where per-connection coalescing never fires.
+	GroupBatch bool
+	// GroupExecutors caps the executor pool size in group-batching mode.
+	// Zero derives the pool from the routing splitters: one executor per
+	// key range (the store's shard count when it exposes Splitters). With
+	// no splitters available the pool is a single executor.
+	GroupExecutors int
+	// GroupSplitters overrides the key-range routing of group batching:
+	// len(GroupSplitters)+1 executors, each owning one contiguous range,
+	// so executor batches are sorted single-range sub-runs. Nil asks the
+	// store for its own shard splitters (ShardedSkipList exposes them),
+	// aligning executor ranges with shard ranges.
+	GroupSplitters []int
+	// BatchWindow is the group-batching gather window: an executor closes
+	// a group at MaxBatch units or after ~BatchWindow from the group's
+	// first unit, whichever comes first (default 50µs).
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 250 * time.Millisecond
 	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 50 * time.Microsecond
+	}
 	return c
 }
 
@@ -117,6 +144,7 @@ type Server struct {
 	procStore ProcStore           // store's attribution capability; nil when absent
 	tel       *telemetry.Recorder // optional; nil disables counters
 	obs       *Obs                // optional; nil disables request observability
+	gb        *groupBatcher       // group-batching engine; nil unless cfg.GroupBatch
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -139,6 +167,10 @@ func New(cfg Config, store Store) *Server {
 	s.connGone = sync.NewCond(&s.mu)
 	if ps, ok := store.(ProcStore); ok {
 		s.procStore = ps
+	}
+	if s.cfg.GroupBatch {
+		s.gb = newGroupBatcher(s)
+		s.gb.start()
 	}
 	return s
 }
@@ -356,6 +388,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-drained
+	}
+	// Executors stop only after every connection is gone: a connection
+	// always waits out its published units before finishing a run, so once
+	// the set drains the rings hold no live work and stopping cannot drop
+	// a reply. stop is a sync.Once — concurrent Shutdowns both reach here.
+	if s.gb != nil {
+		s.gb.stop()
 	}
 	s.mu.Lock()
 	s.done = true

@@ -48,6 +48,12 @@ func NewShardedSkipList[K cmp.Ordered, V any](splitters []K, opts ...Option) *Sh
 // Shards returns the shard count S = len(splitters)+1.
 func (s *ShardedSkipList[K, V]) Shards() int { return s.m.Shards() }
 
+// Splitters returns a copy of the splitter keys partitioning the map.
+// Serving layers use it to align their own key-range routing (e.g. the
+// group-batching executors of internal/server) with the shard layout, so
+// a batch built for one executor is also a single-shard sub-run.
+func (s *ShardedSkipList[K, V]) Splitters() []K { return s.m.Splitters() }
+
 // SetParallel enables (true) or disables (false) the parallel batch
 // fan-out; the default is on iff GOMAXPROCS > 1 at construction. Call
 // before the map is shared.

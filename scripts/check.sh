@@ -91,6 +91,14 @@ echo "== lflstress -recycle smoke =="
 go run ./cmd/lflstress -impl fr-skiplist -recycle -threads 6 -ops 500 -keys 16 -rounds 3 -batch 8
 go run ./cmd/lflstress -server self -recycle -threads 4 -ops 400 -keys 32 -rounds 2 -batch 8
 
+# Group-batching smoke: the same in-process server rounds with execution
+# switched to cross-connection group batching — submission rings, the
+# executor pool, and the ring-draining shutdown all on the checked path.
+# Small key space over several workers makes cross-connection merges
+# actually happen, and every history must still linearize.
+echo "== lflstress -groupbatch smoke =="
+go run ./cmd/lflstress -server self -groupbatch -threads 6 -ops 500 -keys 64 -rounds 3 -batch 8
+
 # Observability smoke: a real lflserver with its admin listener and pprof
 # enabled, every debug surface curled and sanity-checked, then a SIGTERM
 # drain. Asserts the admin mux serves well-formed output end to end — the
