@@ -51,6 +51,9 @@ type benchJSON struct {
 	// GroupBatch is written by the -group stage (see groupbatch.go),
 	// preserved here for the same reason.
 	GroupBatch *groupBatchResult `json:"group_batch,omitempty"`
+	// Durability is written by the -durability stage (see durability.go),
+	// preserved here for the same reason.
+	Durability *durabilityResult `json:"durability,omitempty"`
 }
 
 type benchRow struct {
@@ -360,7 +363,8 @@ func runBenchJSON(path string, quick bool) (string, error) {
 		if json.Unmarshal(data, &prev) == nil {
 			out.OpenLoop = prev.OpenLoop     // keep the -openloop stage's section
 			out.Wire = prev.Wire             // the -wire stage's
-			out.GroupBatch = prev.GroupBatch // and the -group stage's
+			out.GroupBatch = prev.GroupBatch // the -group stage's
+			out.Durability = prev.Durability // and the -durability stage's
 		}
 	}
 	text := fmt.Sprintf("== bench: instrumented throughput (mix=%s uniform / %s clustered / %s churn, ops=%d) ==\n",

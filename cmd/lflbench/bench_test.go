@@ -107,7 +107,16 @@ func TestBenchJSONOutput(t *testing.T) {
 		if row.EssentialStepsPerOp <= 0 {
 			t.Fatalf("%s/%d: essential_steps_per_op = %v", row.Impl, row.Threads, row.EssentialStepsPerOp)
 		}
-		if row.Counters["cas_attempts"] == 0 || row.Counters["curr_updates"] == 0 {
+		if row.Counters["cas_attempts"] == 0 {
+			t.Fatalf("%s/%d: counters missing: %v", row.Impl, row.Threads, row.Counters)
+		}
+		// The churn workload's per-thread key spans are disjoint and every
+		// delete physically unlinks, so whether a measured-window search ever
+		// advances its cursor past a lazily-reclaimed predecessor depends on
+		// EBR batch timing — curr_updates legitimately reads 0 on some runs.
+		// The uniform/clustered workloads traverse a stable populated prefix
+		// and must always advance.
+		if row.Workload != "churn" && row.Counters["curr_updates"] == 0 {
 			t.Fatalf("%s/%d: counters missing: %v", row.Impl, row.Threads, row.Counters)
 		}
 		// Churn rows have no reads; their live quantile is insert's.

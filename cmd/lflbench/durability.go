@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/lockfree"
+)
+
+// The durability stage prices the WAL: the same in-process net.Pipe
+// harness as the wire stage, sweeping durability mode (off / async /
+// sync) crossed with pipeline depth 1 and 16. The workload is strictly
+// alternating SET/DEL pairs over a walking key, because the store is
+// insert-if-absent — a duplicate SET applies nothing and therefore logs
+// nothing, so a naive all-SET sweep would measure the wal-off path under
+// a wal-on label. With alternation every command mutates, every command
+// logs, and every reply is ":1".
+//
+// Expected shape of the checked-in numbers: async rides within a few
+// percent of off (publish is a lock-free ring hand-off off the hot
+// path); sync at depth 1 is fsync-bound (one group commit per op); sync
+// at depth 16 recovers most of the gap because one fsync amortizes over
+// the whole pipelined flush.
+
+// durabilityResult is the durability section of BENCH_lflbench.json.
+type durabilityResult struct {
+	KeyRange      int             `json:"key_range"`
+	ValueLen      int             `json:"value_len"`
+	FsyncWindowNS int64           `json:"fsync_window_ns"`
+	Rows          []durabilityRow `json:"rows"`
+}
+
+type durabilityRow struct {
+	Mode        string  `json:"mode"`  // "off" | "async" | "sync"
+	Depth       int     `json:"depth"` // commands in flight per write
+	Ops         int     `json:"ops"`
+	NSPerOp     int64   `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Fsync accounting over the measured window (zero for mode "off").
+	Fsyncs     uint64 `json:"fsyncs"`
+	FsyncP50NS int64  `json:"fsync_p50_ns"`
+	FsyncP99NS int64  `json:"fsync_p99_ns"`
+}
+
+const (
+	durKeyRange    = 4096 // fixed-width keys keep every frame the same size
+	durValueLen    = 16
+	durBlocks      = 64 // distinct pre-rendered blocks cycled per iteration
+	durFsyncWindow = 2 * time.Millisecond
+)
+
+var durValue = strings.Repeat("d", durValueLen)
+
+// renderDurBlock renders depth commands starting at global command index
+// base: even indices SET key c/2, odd indices DEL the same key, so every
+// command mutates and the state returns to empty each full pair.
+func renderDurBlock(base, depth int) ([]byte, int) {
+	var req []byte
+	for j := 0; j < depth; j++ {
+		c := base + j
+		key := fmt.Sprintf("%04d", (c/2)%durKeyRange)
+		if c%2 == 0 {
+			req = append(req, "SET "+key+" "+durValue+"\n"...)
+		} else {
+			req = append(req, "DEL "+key+"\n"...)
+		}
+	}
+	return req, 3 * depth // every reply is ":1\n"
+}
+
+// durabilityOne runs a single (mode, depth) row: a fresh store, a fresh
+// WAL directory (for wal-on modes), and an in-process server on a
+// net.Pipe driven with pre-rendered alternating SET/DEL blocks.
+func durabilityOne(mode string, depth, ops int) (durabilityRow, error) {
+	cfg := server.Config{ReadTimeout: -1, WriteTimeout: -1, MaxBatch: 64}
+	var l *wal.Log
+	if mode != server.DurabilityOff {
+		dir, err := os.MkdirTemp("", "lflbench-durability-")
+		if err != nil {
+			return durabilityRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		l, err = wal.Open(wal.Options{Dir: dir, FsyncWindow: durFsyncWindow})
+		if err != nil {
+			return durabilityRow{}, err
+		}
+		defer l.Close()
+		cfg.Durability = mode
+		cfg.WAL = l
+	}
+	srv := server.New(cfg, lockfree.NewSkipList[int, string]())
+	cl, se := net.Pipe()
+	served := make(chan struct{})
+	go func() {
+		srv.ServeConn(se)
+		close(served)
+	}()
+	defer func() {
+		cl.Close()
+		<-served
+	}()
+
+	reqs := make([][]byte, durBlocks)
+	respLen := 0
+	for b := range reqs {
+		reqs[b], respLen = renderDurBlock(b*depth, depth)
+	}
+	buf := make([]byte, respLen)
+	iters := ops / depth
+	exchange := func(n int) error {
+		for i := 0; i < n; i++ {
+			if _, err := cl.Write(reqs[i%durBlocks]); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(cl, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := exchange(min(iters, 200)); err != nil {
+		return durabilityRow{}, fmt.Errorf("%s depth=%d warmup: %w", mode, depth, err)
+	}
+	runtime.GC()
+
+	var fs0 instrument.HistSnapshot
+	if l != nil {
+		fs0 = l.FsyncLatency()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	begin := time.Now()
+	if err := exchange(iters); err != nil {
+		return durabilityRow{}, fmt.Errorf("%s depth=%d: %w", mode, depth, err)
+	}
+	elapsed := time.Since(begin)
+	runtime.ReadMemStats(&m1)
+
+	n := iters * depth
+	row := durabilityRow{
+		Mode:        mode,
+		Depth:       depth,
+		Ops:         n,
+		NSPerOp:     elapsed.Nanoseconds() / int64(n),
+		OpsPerSec:   float64(n) / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+	}
+	if l != nil {
+		fs := l.FsyncLatency().Sub(fs0)
+		row.Fsyncs = fs.Count
+		row.FsyncP50NS, _ = fs.Quantile(0.50)
+		row.FsyncP99NS, _ = fs.Quantile(0.99)
+	}
+	return row, nil
+}
+
+// runDurability executes the durability stage, folds the durability
+// section into the JSON file at path (preserving the other stages'
+// sections), and returns a summary table.
+func runDurability(path string, quick bool) (string, error) {
+	ops := 200_000
+	syncOps := 20_000 // sync at depth 1 is one fsync per op; keep it bounded
+	if quick {
+		ops, syncOps = 10_000, 2_000
+	}
+
+	res := &durabilityResult{
+		KeyRange:      durKeyRange,
+		ValueLen:      durValueLen,
+		FsyncWindowNS: durFsyncWindow.Nanoseconds(),
+	}
+	text := fmt.Sprintf("== durability: WAL cost on the wire path (net.Pipe, alternating SET/DEL, %d keys, %dB values, fsync window %v) ==\n",
+		durKeyRange, durValueLen, durFsyncWindow)
+	text += fmt.Sprintf("%-6s %6s %8s %10s %10s %12s %10s %8s %12s\n",
+		"mode", "depth", "ops", "ns/op", "Mops/s", "allocs/op", "B/op", "fsyncs", "fsync p99")
+
+	for _, mode := range []string{server.DurabilityOff, server.DurabilityAsync, server.DurabilitySync} {
+		for _, depth := range []int{1, 16} {
+			rowOps := ops
+			if mode == server.DurabilitySync {
+				rowOps = syncOps
+			}
+			row, err := durabilityOne(mode, depth, rowOps)
+			if err != nil {
+				return "", err
+			}
+			res.Rows = append(res.Rows, row)
+			text += fmt.Sprintf("%-6s %6d %8d %10d %10.3f %12.4f %10.1f %8d %12v\n",
+				row.Mode, row.Depth, row.Ops, row.NSPerOp, row.OpsPerSec/1e6,
+				row.AllocsPerOp, row.BytesPerOp, row.Fsyncs,
+				time.Duration(row.FsyncP99NS))
+		}
+	}
+
+	if err := mergeDurabilityJSON(path, res); err != nil {
+		return "", err
+	}
+	text += fmt.Sprintf("durability section written to %s\n", path)
+	return text, nil
+}
+
+// mergeDurabilityJSON folds res into the JSON file at path, preserving
+// the sections the other stages may have written.
+func mergeDurabilityJSON(path string, res *durabilityResult) error {
+	out := benchJSON{Schema: "lflbench/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			return fmt.Errorf("%s exists but is not valid lflbench JSON: %w", path, err)
+		}
+	}
+	out.Durability = res
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

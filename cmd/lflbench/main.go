@@ -11,6 +11,7 @@
 //	         [-openloop-conns 4] [-openloop-keyrange 65536]
 //	lflbench -wire
 //	lflbench -group
+//	lflbench -durability
 //
 // -quick shrinks every sweep for a fast smoke run; the defaults are the
 // full configurations recorded in EXPERIMENTS.md. -telemetry-addr serves
@@ -39,6 +40,13 @@
 // allocs/op for both into the group_batch section of the JSON file. The
 // grouped rows are expected to beat the per-connection rows: depth-1
 // traffic is exactly the regime per-connection coalescing cannot help.
+//
+// -durability runs the WAL cost stage: the wire harness driven with
+// strictly alternating SET/DEL pairs (so every command mutates and
+// therefore logs — duplicate SETs would be silently unlogged no-ops),
+// sweeping durability off/async/sync crossed with pipeline depth 1/16
+// and recording throughput plus fsync count and latency quantiles into
+// the durability section of the JSON file.
 package main
 
 import (
@@ -72,6 +80,7 @@ func run(args []string) error {
 	openLoop := fs.Bool("openloop", false, "run the fixed-arrival-rate serving-latency stage")
 	wire := fs.Bool("wire", false, "run the wire-protocol per-op cost stage (line vs RESP, depth 1/16)")
 	group := fs.Bool("group", false, "run the cross-connection group-batching stage (64 conns, depth 1)")
+	durability := fs.Bool("durability", false, "run the WAL cost stage (wal-off vs wal-async vs wal-sync, depth 1/16)")
 	olRate := fs.Int("openloop-rate", 20_000, "open-loop offered rate, total ops/sec across connections")
 	olDur := fs.Duration("openloop-duration", 5*time.Second, "open-loop measured window")
 	olConns := fs.Int("openloop-conns", 4, "open-loop client connections")
@@ -95,9 +104,10 @@ func run(args []string) error {
 	}
 
 	want := map[string]bool{}
-	if (*openLoop || *wire || *group) && !expSet {
-		// -openloop / -wire / -group alone run just their stage; combine
-		// with an explicit -exp to run experiments in the same invocation.
+	if (*openLoop || *wire || *group || *durability) && !expSet {
+		// -openloop / -wire / -group / -durability alone run just their
+		// stage; combine with an explicit -exp to run experiments in the
+		// same invocation.
 	} else if *expFlag == "all" {
 		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "bench"} {
 			want[e] = true
@@ -183,8 +193,18 @@ func run(args []string) error {
 		fmt.Printf("[group finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
 		ran++
 	}
+	if *durability {
+		begin := time.Now()
+		out, err := runDurability(*jsonPath, *quick)
+		if err != nil {
+			return fmt.Errorf("durability: %w", err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[durability finished in %v]\n\n", time.Since(begin).Round(time.Millisecond))
+		ran++
+	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, -openloop, -wire, or -group)")
+		return fmt.Errorf("no experiments selected (use -exp e1..e8, bench, all, -openloop, -wire, -group, or -durability)")
 	}
 
 	if *memProfile != "" {

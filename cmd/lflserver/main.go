@@ -18,6 +18,18 @@
 //	          [-trace-sample 64] [-trace-cap 1024] [-slow-ms 10]
 //	          [-groupbatch] [-group-executors 0] [-group-window 50us]
 //	          [-idle-timeout 5m] [-drain-timeout 10s]
+//	          [-wal-dir DIR] [-wal-mode async|sync] [-fsync-window 2ms]
+//	          [-snapshot-every 0]
+//
+// -wal-dir enables durability: every applied SET/DEL is published to an
+// append-only write-ahead log in DIR (a lock-free hand-off ring feeds a
+// single fsync'ing writer; the serving hot path stays 0-alloc), and on
+// boot the store recovers from the newest valid snapshot in DIR plus the
+// WAL tail. -wal-mode async acks before the fsync (a crash may lose the
+// last -fsync-window of acked writes); sync holds each reply flush until
+// the run's mutations are durable, so an acked write survives SIGKILL.
+// -snapshot-every streams a fuzzy snapshot (DESIGN.md §13) to DIR at
+// that cadence and prunes WAL segments the snapshot covers.
 //
 // -groupbatch switches execution to cross-connection group batching:
 // connections publish parsed commands into per-shard lock-free
@@ -40,15 +52,22 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/instrument"
 	"repro/internal/obshttp"
 	"repro/internal/server"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
 	"repro/lockfree"
 	ltel "repro/lockfree/telemetry"
 )
@@ -79,6 +98,10 @@ func run(args []string) error {
 	groupBatch := fs.Bool("groupbatch", false, "merge commands across connections into group batches (per-shard submission rings)")
 	groupExecutors := fs.Int("group-executors", 0, "cap the group-batching executor pool (0 = one per shard)")
 	groupWindow := fs.Duration("group-window", 50*time.Microsecond, "group-batching gather window (close a group at max-batch units or this age)")
+	walDir := fs.String("wal-dir", "", "enable durability: WAL segments and snapshots live in this directory")
+	walMode := fs.String("wal-mode", "async", "with -wal-dir: async (ack before fsync) or sync (hold acks for fsync)")
+	fsyncWindow := fs.Duration("fsync-window", 2*time.Millisecond, "WAL group-commit window; 0 fsyncs every writer batch")
+	snapshotEvery := fs.Duration("snapshot-every", 0, "write a fuzzy snapshot and prune the WAL at this cadence (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +125,47 @@ func run(args []string) error {
 		store = lockfree.NewSkipList[int, string](lockfree.WithTelemetry(tel))
 	}
 
+	// Durability: recover snapshot + WAL tail before serving, then hand
+	// the open log to the server for publish-at-reply-site logging.
+	durability := server.DurabilityOff
+	var walLog *wal.Log
+	if *walDir != "" {
+		switch *walMode {
+		case "async":
+			durability = server.DurabilityAsync
+		case "sync":
+			durability = server.DurabilitySync
+		default:
+			return fmt.Errorf("-wal-mode %q: want async or sync", *walMode)
+		}
+		start := time.Now()
+		snapLSN, snapKeys, err := snapshot.Restore(*walDir, func(k int64, v string) bool {
+			return store.Insert(int(k), v)
+		})
+		if err != nil && !errors.Is(err, snapshot.ErrNoSnapshot) {
+			return fmt.Errorf("snapshot restore: %w", err)
+		}
+		walLog, err = wal.Open(wal.Options{Dir: *walDir, FsyncWindow: *fsyncWindow, Telemetry: tel.Recorder()})
+		if err != nil {
+			return fmt.Errorf("wal open: %w", err)
+		}
+		defer walLog.Close()
+		replayed, err := walLog.Replay(snapLSN, func(op wal.Op, seq uint64, key int64, val []byte) error {
+			switch op {
+			case wal.OpSet:
+				store.Insert(int(key), string(val))
+			case wal.OpDel:
+				store.Delete(int(key))
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		fmt.Printf("lflserver: recovered %d snapshot keys (LSN %d) + %d WAL records in %v\n",
+			snapKeys, snapLSN, replayed, time.Since(start).Round(time.Millisecond))
+	}
+
 	srv := server.New(server.Config{
 		Addr:           *addr,
 		MaxConns:       *maxConns,
@@ -111,6 +175,8 @@ func run(args []string) error {
 		GroupBatch:     *groupBatch,
 		GroupExecutors: *groupExecutors,
 		BatchWindow:    *groupWindow,
+		Durability:     durability,
+		WAL:            walLog,
 	}, store)
 	srv.SetTelemetry(tel.Recorder())
 
@@ -121,6 +187,49 @@ func run(args []string) error {
 	})
 	srv.SetObs(obs)
 
+	if *snapshotEvery > 0 {
+		if walLog == nil {
+			return fmt.Errorf("-snapshot-every needs -wal-dir")
+		}
+		asc, ok := store.(interface {
+			Ascend(fn func(key int, value string) bool)
+		})
+		if !ok {
+			return fmt.Errorf("store %T cannot stream snapshots (no Ascend)", store)
+		}
+		stopSnap := make(chan struct{})
+		defer close(stopSnap)
+		go func() {
+			tick := time.NewTicker(*snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSnap:
+					return
+				case <-tick.C:
+				}
+				// Stamp with the LSN current at scan start: every record
+				// published before it was applied before the scan, and the
+				// replay of anything newer is idempotent (DESIGN.md §13).
+				lsn := walLog.LastLSN()
+				keys, _, err := snapshot.Write(*walDir, lsn, func(fn func(key int64, val string) bool) {
+					asc.Ascend(func(k int, v string) bool { return fn(int64(k), v) })
+				}, tel.Recorder())
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "lflserver: snapshot:", err)
+					continue
+				}
+				if err := walLog.Prune(lsn); err != nil {
+					fmt.Fprintln(os.Stderr, "lflserver: wal prune:", err)
+				}
+				if err := snapshot.Prune(*walDir, 2); err != nil {
+					fmt.Fprintln(os.Stderr, "lflserver: snapshot prune:", err)
+				}
+				fmt.Printf("lflserver: snapshot at LSN %d (%d keys)\n", lsn, keys)
+			}
+		}()
+	}
+
 	shutdowners := []server.Shutdowner{srv}
 	if *adminAddr != "" {
 		// One scrape answers the full latency question: the store's own
@@ -129,6 +238,9 @@ func run(args []string) error {
 		// tail spikes the structures cannot.
 		ltel.RegisterCollector("lflserver-obs", obs.WritePrometheus)
 		ltel.RegisterRuntimeCollector()
+		if walLog != nil {
+			ltel.RegisterCollector("lflserver-wal", walFsyncCollector(walLog))
+		}
 		opts := []obshttp.Option{obshttp.WithHandler("/debug/trace", obs.TraceHandler())}
 		if *pprofOn {
 			opts = append(opts, obshttp.WithPprof())
@@ -167,5 +279,37 @@ func run(args []string) error {
 		}
 		fmt.Println("lflserver: drained cleanly")
 		return nil
+	}
+}
+
+// walFsyncCollector renders the WAL's fsync-latency histogram as a
+// Prometheus series on the shared /metrics endpoint, in the same octave
+// bucketing as the serving layer's latency histograms.
+func walFsyncCollector(l *wal.Log) ltel.Collector {
+	return func(w io.Writer) error {
+		s := l.FsyncLatency()
+		bounds := instrument.OctaveBounds()
+		oct := s.Octaves()
+		var b strings.Builder
+		b.WriteString("# HELP lockfree_wal_fsync_seconds Write-ahead-log group-commit fsync latency.\n")
+		b.WriteString("# TYPE lockfree_wal_fsync_seconds histogram\n")
+		last := -1
+		for i := 0; i < len(oct)-1; i++ {
+			if oct[i] != 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += oct[i]
+			le := strconv.FormatFloat(float64(bounds[i])/1e9, 'g', -1, 64)
+			b.WriteString("lockfree_wal_fsync_seconds_bucket{le=\"" + le + "\"} " + strconv.FormatUint(cum, 10) + "\n")
+		}
+		cum += oct[len(oct)-1]
+		b.WriteString("lockfree_wal_fsync_seconds_bucket{le=\"+Inf\"} " + strconv.FormatUint(cum, 10) + "\n")
+		b.WriteString("lockfree_wal_fsync_seconds_sum " + strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64) + "\n")
+		b.WriteString("lockfree_wal_fsync_seconds_count " + strconv.FormatUint(s.Count, 10) + "\n")
+		_, err := io.WriteString(w, b.String())
+		return err
 	}
 }

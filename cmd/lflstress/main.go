@@ -34,6 +34,14 @@
 // are served for the duration of the run; a per-interval delta summary is
 // printed every -telemetry-every rounds.
 //
+// With -killrecover, lflstress becomes a crash-durability stress: it
+// re-execs itself as a wal-sync lflserver-equivalent child over a fresh
+// WAL directory, hammers it with pipelined SET/DEL bursts over disjoint
+// per-worker key spans, SIGKILLs it mid-burst, restarts it from the same
+// directory, and verifies every key against a per-key admissibility
+// model — every client-acked write must survive, and unacked in-flight
+// suffixes may have applied any prefix. -batch sets the pipeline depth.
+//
 // With -batch N, workers issue their operations as sorted N-key batches
 // through the finger-threaded batch API instead of one key at a time.
 // Every batch element is still recorded and history-checked individually;
@@ -287,8 +295,18 @@ func run(args []string) error {
 	groupBatch := fs.Bool("groupbatch", false, "run the -server self rounds in cross-connection group-batching mode; the history checker is unchanged — grouped execution must be invisible to linearizability")
 	telAddr := fs.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; attaches telemetry to fr-* impls")
 	telEvery := fs.Int("telemetry-every", 5, "print a telemetry delta summary every N rounds (with -telemetry-addr)")
+	killRecover := fs.Bool("killrecover", false, "run kill-and-recover rounds: re-exec this binary as a wal-sync child server, SIGKILL it mid-burst, restart it from the same WAL directory, and verify every client-acked write survived")
+	childServer := fs.Bool("child-server", false, "internal: run as the -killrecover child server (recover from -wal-dir, serve wal-sync, print the address)")
+	childWALDir := fs.String("wal-dir", "", "internal: WAL directory for -child-server")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *childServer {
+		return runChildServer(*childWALDir)
+	}
+	if *killRecover {
+		return runKillRecover(*threads, *ops, *keys, *rounds, *seed, *batch)
 	}
 
 	var tel *ltel.Telemetry

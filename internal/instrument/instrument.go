@@ -43,6 +43,10 @@ type OpStats struct {
 	FreelistHits       uint64 // node constructions served from a free list (no heap allocation)
 	FreelistMisses     uint64 // node constructions that fell back to the heap allocator
 	StalledEpochs      uint64 // retirements abandoned to the GC because the epoch was stalled
+	WALAppends         uint64 // mutation records published to the write-ahead log's hand-off ring
+	WALFsyncs          uint64 // group-commit fsyncs by the write-ahead log's writer goroutine
+	WALBytes           uint64 // framed record bytes written to write-ahead-log segments
+	SnapshotKeys       uint64 // key/value pairs streamed into on-disk snapshots
 }
 
 // Counter indexes the essential-step vocabulary. The order is the canonical
@@ -78,6 +82,10 @@ const (
 	CtrFreelistHits
 	CtrFreelistMisses
 	CtrStalledEpochs
+	CtrWALAppends
+	CtrWALFsyncs
+	CtrWALBytes
+	CtrSnapshotKeys
 	// NumCounters is the size of the vocabulary.
 	NumCounters
 )
@@ -110,6 +118,10 @@ var CounterNames = [NumCounters]string{
 	CtrFreelistHits:       "freelist_hits",
 	CtrFreelistMisses:     "freelist_misses",
 	CtrStalledEpochs:      "ebr_stalled_epochs",
+	CtrWALAppends:         "wal_appends",
+	CtrWALFsyncs:          "wal_fsyncs",
+	CtrWALBytes:           "wal_bytes",
+	CtrSnapshotKeys:       "snapshot_keys",
 }
 
 // Vector is the array form of OpStats, indexed by Counter.
@@ -143,6 +155,10 @@ func (s *OpStats) Vector() Vector {
 		CtrFreelistHits:       s.FreelistHits,
 		CtrFreelistMisses:     s.FreelistMisses,
 		CtrStalledEpochs:      s.StalledEpochs,
+		CtrWALAppends:         s.WALAppends,
+		CtrWALFsyncs:          s.WALFsyncs,
+		CtrWALBytes:           s.WALBytes,
+		CtrSnapshotKeys:       s.SnapshotKeys,
 	}
 }
 
@@ -173,6 +189,10 @@ func (s *OpStats) FromVector(v Vector) {
 	s.FreelistHits = v[CtrFreelistHits]
 	s.FreelistMisses = v[CtrFreelistMisses]
 	s.StalledEpochs = v[CtrStalledEpochs]
+	s.WALAppends = v[CtrWALAppends]
+	s.WALFsyncs = v[CtrWALFsyncs]
+	s.WALBytes = v[CtrWALBytes]
+	s.SnapshotKeys = v[CtrSnapshotKeys]
 }
 
 // AddVector accumulates v into s.

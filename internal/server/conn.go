@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // conn is one client connection. Two goroutines serve it:
@@ -78,6 +79,11 @@ type conn struct {
 	queueWait int64
 	proc      core.Proc
 	procStats core.OpStats
+
+	// walMax is the highest WAL LSN this connection's applied mutations
+	// have been assigned; in sync-durability mode flush holds the run's
+	// replies until the log reports it durable.
+	walMax uint64
 
 	// group-batching state (GroupBatch mode only): the run's published
 	// units (executors hold pointers into gbUnits, so it is pre-sized
@@ -480,8 +486,14 @@ func (c *conn) executeBatch(v Verb, e []entry) {
 		case VerbGet:
 			c.writeValue(c.vals[m], flags[m])
 		case VerbSet:
+			if flags[m] && c.srv.wal != nil {
+				c.logMutation(wal.OpSet, c.items[m].Key, c.items[m].Value)
+			}
 			c.writeSetReply(flags[m])
 		default:
+			if flags[m] && c.srv.wal != nil {
+				c.logMutation(wal.OpDel, c.keys[m], "")
+			}
 			c.writeBool(flags[m])
 		}
 	}
@@ -518,11 +530,16 @@ func (c *conn) executeSingle(cmd Command) (quit bool) {
 	case VerbPing:
 		c.w.literal(c.rep.pong)
 	case VerbSet:
+		var ok bool
 		if attrib {
-			c.writeSetReply(c.srv.procStore.InsertProc(&c.proc, cmd.Key, cmd.Value))
+			ok = c.srv.procStore.InsertProc(&c.proc, cmd.Key, cmd.Value)
 		} else {
-			c.writeSetReply(c.srv.store.Insert(cmd.Key, cmd.Value))
+			ok = c.srv.store.Insert(cmd.Key, cmd.Value)
 		}
+		if ok && c.srv.wal != nil {
+			c.logMutation(wal.OpSet, cmd.Key, cmd.Value)
+		}
+		c.writeSetReply(ok)
 	case VerbGet:
 		var v string
 		var ok bool
@@ -533,11 +550,16 @@ func (c *conn) executeSingle(cmd Command) (quit bool) {
 		}
 		c.writeValue(v, ok)
 	case VerbDel:
+		var ok bool
 		if attrib {
-			c.writeBool(c.srv.procStore.DeleteProc(&c.proc, cmd.Key))
+			ok = c.srv.procStore.DeleteProc(&c.proc, cmd.Key)
 		} else {
-			c.writeBool(c.srv.store.Delete(cmd.Key))
+			ok = c.srv.store.Delete(cmd.Key)
 		}
+		if ok && c.srv.wal != nil {
+			c.logMutation(wal.OpDel, cmd.Key, "")
+		}
+		c.writeBool(ok)
 	case VerbLen:
 		c.writeInt(c.srv.store.Len())
 	case VerbRange:
@@ -734,10 +756,34 @@ func (c *conn) writeErr(err error) {
 	c.w.literal(c.rep.eol)
 }
 
+// logMutation publishes an applied mutation to the WAL — always after
+// the store apply, at the reply site, so per-connection per-key program
+// order equals log order — and tracks the run's highest LSN for the
+// sync-mode flush hold. The publish is the WAL's 0-alloc ring hand-off;
+// the fsync happens on the log's writer goroutine.
+func (c *conn) logMutation(op wal.Op, key int, val string) {
+	lsn := c.srv.wal.Append(op, int64(key), val)
+	if lsn > c.walMax {
+		c.walMax = lsn
+	}
+}
+
 // flush pushes the run's assembled replies to the client in one vectored
 // write under the write deadline. A negative WriteTimeout disables the
-// deadline (see armReadDeadline).
+// deadline (see armReadDeadline). In sync-durability mode the flush
+// first waits for the run's mutations to be fsync-durable: an ack a
+// client can observe implies the write survives a crash. A log failure
+// poisons the connection — the replies it holds can no longer be
+// honored, so the connection drops rather than lie.
 func (c *conn) flush() error {
+	if c.walMax > 0 {
+		if c.srv.walSync {
+			if err := c.srv.wal.WaitDurable(c.walMax); err != nil {
+				return err
+			}
+		}
+		c.walMax = 0
+	}
 	n := c.w.buffered()
 	if n == 0 {
 		return nil

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+	"repro/lockfree"
+)
+
+type loggedRec struct {
+	op  wal.Op
+	key int64
+	val string
+}
+
+func replayAll(t *testing.T, dir string) []loggedRec {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	defer l.Close()
+	var out []loggedRec
+	if _, err := l.Replay(0, func(op wal.Op, seq uint64, key int64, val []byte) error {
+		out = append(out, loggedRec{op: op, key: key, val: string(val)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// TestDurabilityLogsAppliedMutationsOnly drives single commands, a
+// pipelined coalesced batch, and no-op duplicates through a wal-async
+// server and asserts the log holds exactly the applied mutations, in
+// this connection's program order.
+func TestDurabilityLogsAppliedMutationsOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Durability: DurabilityAsync, WAL: l}, lockfree.NewSkipList[int, string]())
+	cl, br := pipeConn(t, srv)
+
+	send := func(cmds string, replies int) {
+		t.Helper()
+		if _, err := cl.Write([]byte(cmds)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < replies; i++ {
+			mustReadLine(t, br)
+		}
+	}
+	send("SET 1 one\n", 1)
+	send("SET 1 dup\n", 1)    // duplicate: applied=false, must not log
+	send("DEL 2\n", 1)        // miss: must not log
+	send("DEL 1\nDEL 1\n", 2) // second DEL is a miss
+	// One pipelined write -> one coalesced InsertBatch; 5 and 6 apply,
+	// the repeated 5 does not.
+	send("SET 5 five\nSET 6 six\nSET 5 again\n", 3)
+
+	cl.Close()
+	if err := l.WaitDurable(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []loggedRec{
+		{wal.OpSet, 1, "one"},
+		{wal.OpDel, 1, ""},
+		{wal.OpSet, 5, "five"},
+		{wal.OpSet, 6, "six"},
+	}
+	got := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("log holds %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("log[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDurabilitySyncAckImpliesDurable: in wal-sync mode a reply the
+// client has read implies the mutation is already fsync-durable — even
+// mid-connection, with a long group-commit window that would otherwise
+// delay the fsync.
+func TestDurabilitySyncAckImpliesDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, FsyncWindow: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := New(Config{Durability: DurabilitySync, WAL: l}, lockfree.NewSkipList[int, string]())
+	cl, br := pipeConn(t, srv)
+
+	for i := 1; i <= 3; i++ {
+		if _, err := cl.Write([]byte(fmt.Sprintf("SET %d v%d\n", i, i))); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustReadLine(t, br); got != ":1" {
+			t.Fatalf("SET %d = %q", i, got)
+		}
+		if d := l.Durable(); d < uint64(i) {
+			t.Fatalf("ack for LSN %d read but Durable() = %d", i, d)
+		}
+	}
+}
+
+// TestDurabilityGroupBatchLogs covers the third reply path: group-batch
+// executors apply the units, the owning connection logs them at its
+// reply walk.
+func TestDurabilityGroupBatchLogs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startTCP(t, Config{Durability: DurabilityAsync, WAL: l, GroupBatch: true}, lockfree.NewSkipList[int, string](), nil)
+	nc, br := dial(t, srv)
+	for i := 1; i <= 4; i++ {
+		if _, err := nc.Write([]byte(fmt.Sprintf("SET %d gv%d\n", i, i))); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustReadLine(t, br); got != ":1" {
+			t.Fatalf("SET %d = %q", i, got)
+		}
+	}
+	nc.Close()
+	if err := l.WaitDurable(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 4 {
+		t.Fatalf("log holds %d records, want 4: %+v", len(got), got)
+	}
+	for i, r := range got {
+		if r.op != wal.OpSet || !strings.HasPrefix(r.val, "gv") {
+			t.Fatalf("log[%d] = %+v", i, r)
+		}
+	}
+}

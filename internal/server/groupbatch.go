@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // Group batching: the serving layer's answer to the traffic shape where
@@ -593,8 +594,17 @@ func (c *conn) executeGrouped(r workRun) (quit bool) {
 			case VerbGet:
 				c.writeValue(u.out, u.ok)
 			case VerbSet:
+				// Log before u.val is cleared below; the executor has
+				// already applied the unit, so log order here is this
+				// connection's reply (program) order.
+				if u.ok && c.srv.wal != nil {
+					c.logMutation(wal.OpSet, u.key, u.val)
+				}
 				c.writeSetReply(u.ok)
 			default:
+				if u.ok && c.srv.wal != nil {
+					c.logMutation(wal.OpDel, u.key, "")
+				}
 				c.writeBool(u.ok)
 			}
 			// Don't pin store values or arena chunks past the run.

@@ -19,9 +19,10 @@ import (
 )
 
 // maxRespArgs bounds one RESP command's argument count. The widest real
-// command takes three; the slack tolerates clients probing with optional
-// flags (e.g. redis-benchmark's "SET key val EX 60"-style variants) while
-// still refusing a hostile million-arg header outright.
+// command takes three; the slack lets clients probing with optional
+// flags (e.g. redis-benchmark's "SET key val EX 60"-style variants) get
+// a precise "-ERR unsupported option" answer instead of a generic arity
+// error, while still refusing a hostile million-arg header outright.
 const maxRespArgs = 16
 
 // maxRespDiscard bounds how large a declared bulk the server will read
@@ -39,6 +40,9 @@ var (
 	errRespBulkTrailer = errors.New("protocol error: expected CRLF after bulk payload")
 	errRespTooManyArgs = errors.New("protocol error: too many arguments")
 	errRespBulkTooLong = errors.New("protocol error: bulk length exceeds the configured maximum")
+	// errRespUnsupportedOption rejects SET options (EX, NX, ...) whose
+	// semantics the server would otherwise silently drop.
+	errRespUnsupportedOption = errors.New("unsupported option")
 )
 
 // readRespEntry reads one request from a RESP connection. A '*' opens a
@@ -113,11 +117,15 @@ func (c *conn) readRespCommand(n int) (entry, error) {
 	if n < want {
 		return entry{err: arityErr(verb)}, c.discardBulks(n - 1)
 	}
-	if n > want && verb != VerbSet {
-		// Extra arguments on non-SET commands are an arity error; SET
-		// tolerates and ignores trailing options (EX/NX and friends from
-		// standard benchmark drivers) since values here are immutable
-		// insert-if-absent anyway.
+	if n > want {
+		if verb == VerbSet {
+			// Trailing SET options (EX/NX and friends from standard
+			// benchmark drivers) name semantics this server does not
+			// implement — values are immutable insert-if-absent with no
+			// expiry. Answering +OK while dropping the option would lie
+			// to the client, so the request is refused outright.
+			return entry{err: errRespUnsupportedOption}, c.discardBulks(n - 1)
+		}
 		return entry{err: arityErr(verb)}, c.discardBulks(n - 1)
 	}
 

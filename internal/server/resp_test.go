@@ -190,6 +190,12 @@ func TestRespMalformedFrames(t *testing.T) {
 		// silently truncated to a colliding shorter key.
 		{"overflowing key digits", respCmd("GET", "key:12345678901234567890123"), 1},
 		{"range arity", respCmd("RANGE", "1"), 1},
+		// SET options the server cannot honor are refused per request —
+		// the trailing option bulks must be discarded, not re-parsed as
+		// the next command.
+		{"SET with EX option", respCmd("SET", "1", "v", "EX", "60"), 1},
+		{"SET with NX option", respCmd("SET", "1", "v", "NX"), 1},
+		{"SET with XX GET options", respCmd("SET", "1", "v", "XX", "GET"), 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -218,8 +224,9 @@ func TestRespMalformedFrames(t *testing.T) {
 
 // TestRespBenchmarkTraffic simulates the exact frame shapes redis-cli and
 // redis-benchmark emit: "key:000000000042"-style keys map to the integer
-// spelled by their trailing digit run, SET tolerates trailing options,
-// and probe commands fail politely without desyncing the stream.
+// spelled by their trailing digit run, SET with trailing options is
+// refused honestly (the server has no expiry to honor), and probe
+// commands fail politely without desyncing the stream.
 func TestRespBenchmarkTraffic(t *testing.T) {
 	srv := startTCP(t, Config{}, lockfree.NewSkipList[int, string](), nil)
 	nc, br := dial(t, srv)
@@ -243,7 +250,14 @@ func TestRespBenchmarkTraffic(t *testing.T) {
 		t.Fatalf("CONFIG GET = %q, want -ERR unknown command", got)
 	}
 
+	// SET with an option the server cannot honor must refuse, not ack
+	// and silently drop the expiry — and must not store the value.
 	nc.Write([]byte(respCmd("SET", "key:000000000042", "VXK", "EX", "60")))
+	expect("-ERR unsupported option")
+	nc.Write([]byte(respCmd("GET", "key:000000000042")))
+	expect("$-1")
+
+	nc.Write([]byte(respCmd("SET", "key:000000000042", "VXK")))
 	expect("+OK")
 	nc.Write([]byte(respCmd("GET", "key:000000000042")))
 	expect("$3")

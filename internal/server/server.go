@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // Store is the ordered key-value surface the server fronts: the subset of
@@ -102,7 +103,26 @@ type Config struct {
 	// a group at MaxBatch units or after ~BatchWindow from the group's
 	// first unit, whichever comes first (default 50µs).
 	BatchWindow time.Duration
+	// Durability selects the write-ahead-log mode: DurabilityOff (or "")
+	// serves purely in memory; DurabilityAsync publishes every applied
+	// mutation to WAL but acks without waiting for the disk;
+	// DurabilitySync additionally holds each run's reply flush until the
+	// run's last mutation is fsync-durable, so a client-visible ack
+	// implies the write survives a crash. Async and sync require WAL.
+	Durability string
+	// WAL is the open log mutations are published to. The server does
+	// not own it: the caller opens it (replaying any tail first) and
+	// closes it after Shutdown. Nil disables logging regardless of
+	// Durability.
+	WAL *wal.Log
 }
+
+// Durability modes for Config.Durability.
+const (
+	DurabilityOff   = "off"
+	DurabilityAsync = "async"
+	DurabilitySync  = "sync"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -145,6 +165,8 @@ type Server struct {
 	tel       *telemetry.Recorder // optional; nil disables counters
 	obs       *Obs                // optional; nil disables request observability
 	gb        *groupBatcher       // group-batching engine; nil unless cfg.GroupBatch
+	wal       *wal.Log            // mutation log; nil when durability is off
+	walSync   bool                // hold reply flushes for fsync (DurabilitySync)
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -167,6 +189,13 @@ func New(cfg Config, store Store) *Server {
 	s.connGone = sync.NewCond(&s.mu)
 	if ps, ok := store.(ProcStore); ok {
 		s.procStore = ps
+	}
+	switch s.cfg.Durability {
+	case DurabilityAsync:
+		s.wal = s.cfg.WAL
+	case DurabilitySync:
+		s.wal = s.cfg.WAL
+		s.walSync = s.wal != nil
 	}
 	if s.cfg.GroupBatch {
 		s.gb = newGroupBatcher(s)

@@ -1,0 +1,392 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rec is one replayed record, captured for assertions.
+type rec struct {
+	op  Op
+	seq uint64
+	key int64
+	val string
+}
+
+func collect(t *testing.T, l *Log, afterSeq uint64) []rec {
+	t.Helper()
+	var out []rec
+	n, err := l.Replay(afterSeq, func(op Op, seq uint64, key int64, val []byte) error {
+		out = append(out, rec{op: op, seq: seq, key: key, val: string(val)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func closeT(t *testing.T, l *Log) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestAppendCloseReopenReplay is the round trip: records written before
+// a clean shutdown survive a reopen bit for bit, in order, seq-continuous.
+func TestAppendCloseReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	want := []rec{
+		{OpSet, 1, 7, "alpha"},
+		{OpDel, 2, 7, ""},
+		{OpSet, 3, -12, "beta"},
+		{OpSet, 4, 1 << 40, ""},
+	}
+	for _, r := range want {
+		if lsn := l.Append(r.op, r.key, r.val); lsn != r.seq {
+			t.Fatalf("Append returned LSN %d, want %d", lsn, r.seq)
+		}
+	}
+	if err := l.WaitDurable(4); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	closeT(t, l)
+
+	l2 := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	if got := l2.LastLSN(); got != 4 {
+		t.Fatalf("recovered LastLSN = %d, want 4", got)
+	}
+	got := collect(t, l2, 0)
+	for i, w := range want {
+		// OpDel's value is not persisted; an empty OpSet value round-trips
+		// as empty too, so the expectation is the record as framed.
+		if i >= len(got) || got[i] != w {
+			t.Fatalf("record %d = %+v, want %+v (all: %+v)", i, got[i], w, got)
+		}
+	}
+	// Replay's afterSeq filter: seq > 2 only.
+	tail := collect(t, l2, 2)
+	if len(tail) != 2 || tail[0].seq != 3 || tail[1].seq != 4 {
+		t.Fatalf("Replay(2) = %+v, want seqs 3,4", tail)
+	}
+	// New appends continue the sequence.
+	if lsn := l2.Append(OpSet, 99, "gamma"); lsn != 5 {
+		t.Fatalf("post-recovery Append LSN = %d, want 5", lsn)
+	}
+	if err := l2.WaitDurable(5); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: the final frame is
+// cut short at every possible byte boundary, and recovery must keep the
+// intact prefix and drop only the torn record.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 4, 8, 12, 20} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, Options{})
+			l.Append(OpSet, 1, "one")
+			l.Append(OpSet, 2, "two")
+			l.Append(OpSet, 3, "three")
+			if err := l.WaitDurable(3); err != nil {
+				t.Fatal(err)
+			}
+			closeT(t, l)
+
+			seg := onlySegment(t, dir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Frame 3 is the last; cut it `cut` bytes short.
+			lastLen := frameHeader + recFixed + len("three")
+			if cut > lastLen {
+				t.Fatalf("cut %d exceeds final frame %d", cut, lastLen)
+			}
+			if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openT(t, dir, Options{})
+			defer closeT(t, l2)
+			if got := l2.LastLSN(); got != 2 {
+				t.Fatalf("LastLSN after torn tail = %d, want 2", got)
+			}
+			recs := collect(t, l2, 0)
+			if len(recs) != 2 || recs[1].val != "two" {
+				t.Fatalf("survivors = %+v, want records 1,2", recs)
+			}
+			// The log keeps working: LSNs resume after the surviving prefix.
+			if lsn := l2.Append(OpSet, 4, "four"); lsn != 3 {
+				t.Fatalf("post-truncation Append LSN = %d, want 3", lsn)
+			}
+			if err := l2.WaitDurable(3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBitFlipTruncatesFromCorruption flips one payload byte mid-log: the
+// CRC catches it, and recovery truncates from the damaged record on,
+// keeping the prefix.
+func TestBitFlipTruncatesFromCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		l.Append(OpSet, int64(i), "payload")
+	}
+	if err := l.WaitDurable(5); err != nil {
+		t.Fatal(err)
+	}
+	closeT(t, l)
+
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameHeader + recFixed + len("payload")
+	// Flip a value byte inside record 3.
+	data[2*frame+frameHeader+recFixed] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	recs := collect(t, l2, 0)
+	if len(recs) != 2 {
+		t.Fatalf("survivors after bit flip = %+v, want records 1,2", recs)
+	}
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != int64(2*frame) {
+		t.Fatalf("segment not truncated to valid prefix: size=%d want %d (err=%v)", fi.Size(), 2*frame, err)
+	}
+}
+
+// TestSegmentRotationAndPrune drives enough records through a tiny
+// segment cap to rotate several times, then prunes below a pretend
+// snapshot LSN and confirms replay of the tail still works after reopen.
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentBytes: 256})
+	const n = 64
+	for i := 1; i <= n; i++ {
+		l.Append(OpSet, int64(i), "0123456789abcdef")
+	}
+	if err := l.WaitDurable(n); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := segmentCount(t, dir)
+	if segsBefore < 3 {
+		t.Fatalf("expected >=3 segments at 256B cap, got %d", segsBefore)
+	}
+	const snapLSN = 40
+	if err := l.Prune(snapLSN); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if after := segmentCount(t, dir); after >= segsBefore {
+		t.Fatalf("Prune removed nothing: %d -> %d segments", segsBefore, after)
+	}
+	closeT(t, l)
+
+	l2 := openT(t, dir, Options{SegmentBytes: 256})
+	defer closeT(t, l2)
+	if got := l2.LastLSN(); got != n {
+		t.Fatalf("LastLSN after prune+reopen = %d, want %d", got, n)
+	}
+	tail := collect(t, l2, snapLSN)
+	if len(tail) != n-snapLSN {
+		t.Fatalf("tail after Prune(%d) has %d records, want %d", snapLSN, len(tail), n-snapLSN)
+	}
+	for i, r := range tail {
+		if r.seq != uint64(snapLSN+1+i) {
+			t.Fatalf("tail[%d].seq = %d, want %d", i, r.seq, snapLSN+1+i)
+		}
+	}
+}
+
+// TestConcurrentAppendDurability is the MPSC contract under the race
+// detector: every concurrently published record gets a unique LSN and
+// survives a reopen, seq-continuous.
+func TestConcurrentAppendDurability(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{RingSize: 64, FsyncWindow: time.Millisecond})
+	workers := 8
+	per := 200
+	var wg sync.WaitGroup
+	lsns := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op := OpSet
+				if i%3 == 0 {
+					op = OpDel
+				}
+				lsns[w] = append(lsns[w], l.Append(op, int64(w*per+i), "v"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(workers * per)
+	if err := l.WaitDurable(total); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool, total)
+	for _, ws := range lsns {
+		for _, lsn := range ws {
+			if lsn == 0 || lsn > total || seen[lsn] {
+				t.Fatalf("bad or duplicate LSN %d", lsn)
+			}
+			seen[lsn] = true
+		}
+	}
+	closeT(t, l)
+
+	l2 := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	recs := collect(t, l2, 0)
+	if uint64(len(recs)) != total {
+		t.Fatalf("recovered %d records, want %d", len(recs), total)
+	}
+	for i, r := range recs {
+		if r.seq != uint64(i+1) {
+			t.Fatalf("recovered seq gap at %d: %d", i, r.seq)
+		}
+	}
+}
+
+// TestWaitDurableUnblocksPromptly: a sync waiter must not wait out the
+// whole group-commit window — its presence forces the fsync.
+func TestWaitDurableUnblocksPromptly(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{FsyncWindow: 10 * time.Second})
+	defer closeT(t, l)
+	lsn := l.Append(OpSet, 1, "v")
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitDurable: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable did not return; sync waiter failed to force the fsync")
+	}
+	if l.Durable() < lsn {
+		t.Fatalf("Durable() = %d after WaitDurable(%d)", l.Durable(), lsn)
+	}
+}
+
+// TestPublishZeroAllocs pins the hot-path guarantee: Append allocates
+// nothing, with the writer live and fsyncing underneath.
+func TestPublishZeroAllocs(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{FsyncWindow: time.Millisecond})
+	defer closeT(t, l)
+	val := "sixteen-byte-val"
+	if allocs := testing.AllocsPerRun(2000, func() {
+		l.Append(OpSet, 42, val)
+	}); allocs != 0 {
+		t.Fatalf("Append allocates %.2f allocs/op; the WAL publish path must be 0", allocs)
+	}
+}
+
+// BenchmarkWALPublish is the benchdiff-gated hand-off benchmark: the
+// cost one serving goroutine pays to make a mutation durable-eligible.
+func BenchmarkWALPublish(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, FsyncWindow: time.Millisecond, RingSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	val := "sixteen-byte-val"
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Append(OpSet, 7, val)
+		}
+	})
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open creates a fresh (possibly empty) active segment per boot;
+	// the one holding the test's records is the first.
+	var withData []string
+	for _, s := range segs {
+		if fi, err := os.Stat(s); err == nil && fi.Size() > 0 {
+			withData = append(withData, s)
+		}
+	}
+	if len(withData) != 1 {
+		t.Fatalf("expected exactly one non-empty segment, found %d of %d", len(withData), len(segs))
+	}
+	return withData[0]
+}
+
+func segmentCount(t *testing.T, dir string) int {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(segs)
+}
+
+// TestFrameRoundTrip pins the frame encoding against hand-decoded bytes.
+func TestFrameRoundTrip(t *testing.T) {
+	buf := appendFrame(nil, OpSet, 9, -3, "xy")
+	if len(buf) != frameHeader+recFixed+2 {
+		t.Fatalf("frame length %d", len(buf))
+	}
+	n, seq, ok := parseFrame(buf)
+	if !ok || n != len(buf) || seq != 9 {
+		t.Fatalf("parseFrame = (%d, %d, %v)", n, seq, ok)
+	}
+	if !bytes.Equal(buf[frameHeader+recFixed:], []byte("xy")) {
+		t.Fatalf("payload mangled")
+	}
+	// Any single corrupted byte must fail the CRC (or the header checks).
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x01
+		if _, _, ok := parseFrame(mut); ok && i != 0 {
+			// Flipping the low bit of the length byte can still parse iff it
+			// describes a shorter-but-valid frame, which a CRC over different
+			// bytes cannot be; assert it really fails.
+			t.Fatalf("parseFrame accepted corrupted byte %d", i)
+		}
+	}
+	runtime.KeepAlive(buf)
+}

@@ -60,6 +60,10 @@ var counterHelp = [itel.NumCounters]string{
 	"Total node constructions served from a recycling free list instead of the allocator.",
 	"Total node constructions that missed the free list and allocated.",
 	"Total retirements abandoned to the GC because a stalled epoch pinned the retire list at its cap.",
+	"Total mutation records published to the write-ahead log's hand-off ring.",
+	"Total group-commit fsyncs by the write-ahead log's writer goroutine.",
+	"Total framed record bytes written to write-ahead-log segments.",
+	"Total key/value pairs streamed into on-disk snapshots.",
 }
 
 // WriteMetrics writes the Prometheus text exposition of the given

@@ -45,12 +45,12 @@ if [ "$(git rev-parse "$BASE")" = "$(git rev-parse HEAD)" ]; then
     BASE=$(git rev-parse HEAD~1)
 fi
 
-BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded|BenchmarkPinUnpin|BenchmarkRetireRecycle|BenchmarkServerWire)}"
+BENCH="${BENCHDIFF_BENCH:-^(BenchmarkListSearch|BenchmarkListInsertDelete|BenchmarkSkipListSearch|BenchmarkSkipListInsertDelete|BenchmarkAllocs|BenchmarkClustered|BenchmarkSharded|BenchmarkPinUnpin|BenchmarkRetireRecycle|BenchmarkServerWire|BenchmarkWALPublish)}"
 COUNT="${BENCHDIFF_COUNT:-5}"
 BENCHTIME="${BENCHDIFF_BENCHTIME:-100ms}"
 MAXREG="${BENCHDIFF_MAX_REGRESSION:-5}"
 MAXALLOCREG="${BENCHDIFF_MAX_ALLOCS_REGRESSION:-10}"
-PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded ./internal/ebr ./internal/server}"
+PKG="${BENCHDIFF_PKG:-./internal/core ./internal/sharded ./internal/ebr ./internal/server ./internal/wal}"
 
 TMP=$(mktemp -d)
 WORKTREE="$TMP/base"
@@ -133,7 +133,9 @@ fi
 # The *ChurnRecycle benchmarks carry an absolute gate on top: they are the
 # zero-allocation write-path guarantee (DESIGN.md §2.1), so they must
 # report exactly 0 allocs/op on the new side even when the base predates
-# them and the relative gate has nothing to compare.
+# them and the relative gate has nothing to compare. BenchmarkWALPublish
+# carries the same absolute gate: the WAL's producer-side publish is the
+# hot-path half of the durability design and must stay allocation-free.
 # Mean time deltas are printed for the record; the significance-tested
 # time gate above is the only one that can fail on time.
 awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
@@ -163,6 +165,10 @@ awk -v maxreg="$MAXREG" -v maxallocreg="$MAXALLOCREG" '
             }
             if (name ~ /ServerWire(Group)?(Get|Del)/ && na > 0) {
                 printf "benchdiff: %s allocates (%.2f allocs/op): the read/delete wire path must be 0 (grouped or not)\n", name, na > "/dev/stderr"
+                fails++
+            }
+            if (name ~ /WALPublish/ && na > 0) {
+                printf "benchdiff: %s allocates (%.2f allocs/op): the WAL publish path must be 0\n", name, na > "/dev/stderr"
                 fails++
             }
             if (!(name in oldsum)) {

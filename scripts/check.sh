@@ -5,12 +5,16 @@
 #   2. the tier-1 gate (build + tests, as recorded in ROADMAP.md),
 #   3. the test suite again under the race detector,
 #   4. targeted race passes over the parallelism-shaped packages
-#      (internal/sharded and internal/server) at GOMAXPROCS=2 and 8,
+#      (internal/sharded, internal/server, internal/instrument,
+#      internal/ebr, internal/wal, internal/snapshot) at GOMAXPROCS=2
+#      and 8,
 #   5. a ten-second FuzzRESP run over the wire-protocol readers: hostile
 #      bytes must fail requests, never hang or kill the serving goroutine,
 #   6. a short lflstress -server smoke run: an in-process TCP server per
 #      round, pipelined mixed workloads, linearizability-checked, with
-#      the graceful drain asserted at each round's end,
+#      the graceful drain asserted at each round's end — plus a
+#      race-built kill-and-recover smoke: SIGKILL a wal-sync child
+#      server mid-burst and verify every acked write survives recovery,
 #   7. an observability smoke: a real lflserver with its admin listener
 #      up, the /metrics, /debug/trace, and /debug/pprof surfaces curled
 #      and sanity-checked, then a clean SIGTERM drain — plus, when a
@@ -66,6 +70,15 @@ echo "== race: ebr at GOMAXPROCS=2 and GOMAXPROCS=8 =="
 GOMAXPROCS=2 go test -race -count=1 ./internal/ebr
 GOMAXPROCS=8 go test -race -count=1 ./internal/ebr
 
+# The WAL's MPSC publish ring and single fsyncing writer, and the fuzzy
+# snapshot's writer-concurrent Ascend scan, are scheduling-shaped in the
+# same way: at 2 cores the producers starve behind the writer goroutine
+# (ring-full backpressure on the publish path), at 8 the ticket
+# contention and group-commit batching dominate.
+echo "== race: wal + snapshot at GOMAXPROCS=2 and GOMAXPROCS=8 =="
+GOMAXPROCS=2 go test -race -count=1 ./internal/wal ./internal/snapshot
+GOMAXPROCS=8 go test -race -count=1 ./internal/wal ./internal/snapshot
+
 # Protocol-robustness fuzz: ten seconds of arbitrary bytes against a
 # served connection (seeds cover both dialects and every malformed-frame
 # class the RESP reader distinguishes). The invariant is termination —
@@ -90,6 +103,16 @@ go run ./cmd/lflstress -server self -threads 6 -ops 500 -keys 64 -rounds 4 -batc
 echo "== lflstress -recycle smoke =="
 go run ./cmd/lflstress -impl fr-skiplist -recycle -threads 6 -ops 500 -keys 16 -rounds 3 -batch 8
 go run ./cmd/lflstress -server self -recycle -threads 4 -ops 400 -keys 32 -rounds 2 -batch 8
+
+# Kill-and-recover smoke: lflstress re-execs itself as a wal-sync child
+# server, SIGKILLs it mid-burst, restarts it from the same WAL directory,
+# and verifies every client-acked write survived (and that in-flight
+# unacked suffixes recovered to an admissible prefix). Run under -race:
+# the parent's workers, the child's serving goroutines, and the WAL
+# writer are all instrumented (the child is a re-exec of the same
+# race-built binary).
+echo "== lflstress -killrecover smoke (race) =="
+go run -race ./cmd/lflstress -killrecover -threads 4 -ops 4000 -keys 32 -rounds 2
 
 # Group-batching smoke: the same in-process server rounds with execution
 # switched to cross-connection group batching — submission rings, the
