@@ -219,11 +219,17 @@ func run(args []string) error {
 					fmt.Fprintln(os.Stderr, "lflserver: snapshot:", err)
 					continue
 				}
-				if err := walLog.Prune(lsn); err != nil {
-					fmt.Fprintln(os.Stderr, "lflserver: wal prune:", err)
-				}
 				if err := snapshot.Prune(*walDir, 2); err != nil {
 					fmt.Fprintln(os.Stderr, "lflserver: snapshot prune:", err)
+				}
+				// Prune the WAL only up to the *oldest retained* snapshot's
+				// stamp: if the newest image later fails its CRC, Restore
+				// falls back to the older one, which needs every record in
+				// (olderLSN, newestLSN] still on disk to replay without a gap.
+				if keep := snapshot.Oldest(*walDir); keep > 0 {
+					if err := walLog.Prune(keep); err != nil {
+						fmt.Fprintln(os.Stderr, "lflserver: wal prune:", err)
+					}
 				}
 				fmt.Printf("lflserver: snapshot at LSN %d (%d keys)\n", lsn, keys)
 			}

@@ -178,6 +178,19 @@ func Latest(dir string) uint64 {
 	return files[len(files)-1].lsn
 }
 
+// Oldest returns the LSN stamp of the oldest snapshot file in dir
+// without loading it, or 0 when there is none. The WAL may be pruned
+// only up to this stamp: Restore falls back to older images when the
+// newest fails its CRC, and a retained image without its replay tail
+// would recover with a silent data gap.
+func Oldest(dir string) uint64 {
+	files, err := list(dir)
+	if err != nil || len(files) == 0 {
+		return 0
+	}
+	return files[0].lsn
+}
+
 // Prune removes every snapshot older than the newest keep images.
 func Prune(dir string, keep int) error {
 	files, err := list(dir)

@@ -219,4 +219,12 @@ func TestPruneKeepsNewest(t *testing.T) {
 	if len(files) != 2 || files[0].lsn != 7 || files[1].lsn != 8 {
 		t.Fatalf("after Prune(2): %+v, want LSNs 7,8", files)
 	}
+	// Oldest is the WAL-prune bound: the older retained image still needs
+	// its replay tail, so the WAL may only be pruned up to LSN 7 here.
+	if o := Oldest(dir); o != 7 {
+		t.Fatalf("Oldest after Prune(2) = %d, want 7", o)
+	}
+	if o := Oldest(filepath.Join(dir, "nope")); o != 0 {
+		t.Fatalf("Oldest on missing dir = %d, want 0", o)
+	}
 }

@@ -234,6 +234,21 @@ func Open(o Options) (*Log, error) {
 	l.segs = segs[:intactThrough]
 	l.lastScanned = last
 
+	// Drop trailing segments that hold no valid record (firstSeq past the
+	// surviving prefix): a boot that appended nothing leaves an empty
+	// wal-<last+1>.seg behind, and openSegment below recreates that very
+	// path. Keeping the stale entry would list the active segment twice in
+	// l.segs, and Prune — seeing the duplicate as a covered predecessor —
+	// would unlink the file the writer is appending to, silently dropping
+	// every subsequent acked write at the next restart.
+	for len(l.segs) > 0 && l.segs[len(l.segs)-1].firstSeq > last {
+		stale := l.segs[len(l.segs)-1]
+		if err := os.Remove(stale.path); err != nil {
+			return nil, err
+		}
+		l.segs = l.segs[:len(l.segs)-1]
+	}
+
 	// Resume tickets after the surviving prefix: the next record gets
 	// LSN last+1 (ticket t carries LSN t+1). Slot sequences are seeded
 	// so slot (t & mask) admits exactly ticket t on the first lap.
@@ -509,8 +524,14 @@ func (l *Log) drain() {
 }
 
 // writeBatch appends framed bytes to the active segment and marks them
-// dirty; lastSeq is the seq of the final record in the batch.
+// dirty; lastSeq is the seq of the final record in the batch. An empty
+// batch is a no-op: rotation can trigger on the first record of a drain
+// (segment filled by the previous one), and marking that phantom batch
+// dirty would regress lastWritten below already-fsynced records.
 func (l *Log) writeBatch(buf []byte, lastSeq uint64) {
+	if len(buf) == 0 {
+		return
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		l.fail(err)
 		return
@@ -558,7 +579,11 @@ func (l *Log) fsync() {
 	if l.opts.Telemetry != nil {
 		l.opts.Telemetry.AddCounter(instrument.CtrWALFsyncs, 1)
 	}
-	l.durable.Store(l.lastWritten)
+	// Monotonic: never publish a durable LSN below one already announced
+	// (lastWritten can be stale across a rotation's pre-rotate fsync).
+	if l.lastWritten > l.durable.Load() {
+		l.durable.Store(l.lastWritten)
+	}
 	l.mu.Lock()
 	l.cond.Broadcast()
 	l.mu.Unlock()

@@ -229,6 +229,137 @@ func TestSegmentRotationAndPrune(t *testing.T) {
 	}
 }
 
+// TestReopenWithoutWritesKeepsActiveSegmentUnique is the duplicate-
+// segment regression: a boot that appends nothing leaves an empty
+// wal-<last+1>.seg; the next Open must reuse that path without listing
+// it twice in segs, or Prune mistakes the live active segment for a
+// covered predecessor and unlinks it while the writer appends — every
+// later acked write would silently vanish at the next restart.
+func TestReopenWithoutWritesKeepsActiveSegmentUnique(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		l.Append(OpSet, int64(i), "v")
+	}
+	if err := l.WaitDurable(3); err != nil {
+		t.Fatal(err)
+	}
+	closeT(t, l)
+
+	// The no-write boot: creates (and leaves) an empty wal-…4.seg.
+	closeT(t, openT(t, dir, Options{}))
+
+	l3 := openT(t, dir, Options{})
+	l3.mu.Lock()
+	paths := make(map[string]bool, len(l3.segs))
+	for _, s := range l3.segs {
+		if paths[s.path] {
+			l3.mu.Unlock()
+			t.Fatalf("segment %s listed twice after reopen", s.path)
+		}
+		paths[s.path] = true
+	}
+	l3.mu.Unlock()
+
+	if lsn := l3.Append(OpSet, 4, "four"); lsn != 4 {
+		t.Fatalf("Append LSN = %d, want 4", lsn)
+	}
+	if err := l3.WaitDurable(4); err != nil {
+		t.Fatal(err)
+	}
+	// Prune below a pretend snapshot at LSN 4: the active segment holding
+	// record 4 must survive even though its records are all <= 4.
+	if err := l3.Prune(4); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if lsn := l3.Append(OpSet, 5, "five"); lsn != 5 {
+		t.Fatalf("Append LSN = %d, want 5", lsn)
+	}
+	if err := l3.WaitDurable(5); err != nil {
+		t.Fatal(err)
+	}
+	closeT(t, l3)
+
+	l4 := openT(t, dir, Options{})
+	defer closeT(t, l4)
+	if got := l4.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN after reopen = %d, want 5 (acked writes lost)", got)
+	}
+	recs := collect(t, l4, 0)
+	if len(recs) != 2 || recs[0].seq != 4 || recs[1].seq != 5 {
+		t.Fatalf("post-prune survivors = %+v, want seqs 4,5", recs)
+	}
+}
+
+// TestWriteBatchEmptyIsNoop: rotation can hand writeBatch an empty
+// batch (segment filled by the previous drain); it must not mark bytes
+// dirty or clobber lastWritten — the pre-rotate fsync would otherwise
+// store durable=0, un-promising already-fsynced records.
+func TestWriteBatchEmptyIsNoop(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := &Log{f: f}
+	l.cond = sync.NewCond(&l.mu)
+	l.lastWritten = 7
+	l.writeBatch(nil, 0)
+	if l.unsynced {
+		t.Fatal("empty writeBatch marked bytes dirty")
+	}
+	if l.lastWritten != 7 {
+		t.Fatalf("empty writeBatch clobbered lastWritten: %d", l.lastWritten)
+	}
+	if l.Err() != nil {
+		t.Fatalf("empty writeBatch failed: %v", l.Err())
+	}
+}
+
+// TestFsyncDurableMonotonic: fsync must never move the durable LSN
+// backwards, even when lastWritten is stale (the pre-rotate fsync after
+// a phantom empty batch used to store 0, transiently un-promising
+// already-durable records to WaitDurable callers).
+func TestFsyncDurableMonotonic(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := &Log{f: f}
+	l.cond = sync.NewCond(&l.mu)
+	l.durable.Store(9)
+	l.lastWritten = 3 // stale: below what is already durable
+	l.unsynced = true
+	l.fsync()
+	if got := l.Durable(); got != 9 {
+		t.Fatalf("Durable regressed to %d, want 9", got)
+	}
+	if l.Err() != nil {
+		t.Fatalf("fsync failed: %v", l.Err())
+	}
+}
+
+// TestDurableNeverRegressesAcrossRotation drives rotation on the first
+// record of each drain (segment cap = one frame) and asserts the
+// externally visible durable LSN only ever moves forward.
+func TestDurableNeverRegressesAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	val := "0123456789abcdef"
+	frame := frameHeader + recFixed + len(val)
+	l := openT(t, dir, Options{SegmentBytes: int64(frame), FsyncWindow: 10 * time.Second})
+	defer closeT(t, l)
+	for i := 1; i <= 8; i++ {
+		l.Append(OpSet, int64(i), val)
+		if d := l.Durable(); d < uint64(i-1) {
+			t.Fatalf("Durable() = %d after append %d, regressed below %d", d, i, i-1)
+		}
+		if err := l.WaitDurable(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestConcurrentAppendDurability is the MPSC contract under the race
 // detector: every concurrently published record gets a unique LSN and
 // survives a reopen, seq-continuous.
